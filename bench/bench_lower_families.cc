@@ -1,0 +1,99 @@
+// Experiment E9 (Theorems 4.3 and 4.11): the ladders X_1, X_2, ... of
+// pairwise-distinct maximal lower XSD-approximations. For each n the
+// bench (a) verifies the lower-bound property on a bounded enumeration,
+// (b) reproduces the proofs' escape argument — adding the witness tree to
+// X_n lets ancestor-guarded exchange leave the target language — and
+// reports the closure sizes involved.
+#include <benchmark/benchmark.h>
+
+#include "stap/approx/closure.h"
+#include "stap/approx/upper_boolean.h"
+#include "stap/gen/families.h"
+#include "stap/tree/enumerate.h"
+
+namespace stap {
+namespace {
+
+void BM_Theorem43Ladder(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto [d1, d2] = Theorem43Schemas();
+  Edtd xn = Theorem43LowerApproximation(n);
+  Edtd u1 = AlignAlphabets(xn, d1).second;
+  Edtd u2 = AlignAlphabets(xn, d2).second;
+  int a = xn.sigma.Find("a");
+  int b = xn.sigma.Find("b");
+
+  // Witness t = a^(n+1) b ∈ L(D1) \ L(X_n) and member a^n(a, a) ∈ L(X_n).
+  Word chain(static_cast<size_t>(n + 1), a);
+  chain.push_back(b);
+  Tree witness = Tree::Unary(chain);
+  Tree member(a, {Tree(a), Tree(a)});
+  for (int i = 1; i < n; ++i) member = Tree(a, {member});
+
+  int64_t closure_size = 0;
+  bool escaped = false;
+  for (auto _ : state) {
+    ClosureResult closure = CloseUnderExchange({witness, member});
+    closure_size = static_cast<int64_t>(closure.trees.size());
+    escaped = FindEscape(closure, [&](const Tree& tree) {
+                return !u1.Accepts(tree) && !u2.Accepts(tree);
+              }).has_value();
+    benchmark::DoNotOptimize(escaped);
+  }
+
+  // Lower-bound property on the bounded enumeration.
+  int64_t members = 0;
+  bool is_lower = true;
+  for (const Tree& tree : EnumerateTrees({4, 2, 2})) {
+    if (!xn.Accepts(tree)) continue;
+    ++members;
+    if (!u1.Accepts(tree) && !u2.Accepts(tree)) is_lower = false;
+  }
+  state.counters["n"] = n;
+  state.counters["closure_size"] = static_cast<double>(closure_size);
+  state.counters["escape_found"] = escaped ? 1 : 0;
+  state.counters["is_lower_bound"] = is_lower ? 1 : 0;
+  state.counters["bounded_members"] = static_cast<double>(members);
+}
+
+void BM_Theorem411Ladder(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Edtd dtd = Theorem411Dtd();  // unary chains; target = its complement
+  Edtd xn = Theorem411LowerApproximation(n);
+  int a = xn.sigma.Find("a");
+
+  // Witness: t_{m} with m != n+1 — a chain of single children with a
+  // final branching node at the wrong depth (here depth n + 2).
+  Tree witness(a, {Tree(a), Tree(a)});
+  for (int i = 0; i < n; ++i) witness = Tree(a, {witness});
+  // Member: the matching-depth tree t_{n+1} ∈ L(X_n).
+  Tree member(a, {Tree(a), Tree(a)});
+  for (int i = 1; i < n; ++i) member = Tree(a, {member});
+
+  int64_t closure_size = 0;
+  bool escaped = false;
+  for (auto _ : state) {
+    ClosureResult closure = CloseUnderExchange({witness, member});
+    closure_size = static_cast<int64_t>(closure.trees.size());
+    // Escape = a unary chain (a member of L(D), i.e. outside the
+    // complement).
+    escaped = FindEscape(closure, [&](const Tree& tree) {
+                return dtd.Accepts(tree);
+              }).has_value();
+    benchmark::DoNotOptimize(escaped);
+  }
+  bool is_lower = true;
+  for (const Tree& tree : EnumerateTrees({4, 2, 1})) {
+    if (xn.Accepts(tree) && dtd.Accepts(tree)) is_lower = false;
+  }
+  state.counters["n"] = n;
+  state.counters["closure_size"] = static_cast<double>(closure_size);
+  state.counters["escape_found"] = escaped ? 1 : 0;
+  state.counters["is_lower_bound"] = is_lower ? 1 : 0;
+}
+
+BENCHMARK(BM_Theorem43Ladder)->DenseRange(1, 6)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Theorem411Ladder)->DenseRange(1, 6)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace stap

@@ -1,0 +1,35 @@
+// Experiment E1 (Theorem 3.2): minimal upper XSD-approximation of an
+// EDTD. Input family: (a+b)*a(a+b)^n as unary trees — size O(n); claimed
+// output type-size Ω(2^n). The reported counters regenerate the theorem's
+// shape: input_size grows linearly, type_size doubles with each step.
+#include <benchmark/benchmark.h>
+
+#include "stap/approx/upper.h"
+#include "stap/gen/families.h"
+#include "stap/schema/minimize.h"
+
+namespace stap {
+namespace {
+
+void BM_MinimalUpperApproximation(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Edtd edtd = Theorem32Family(n);
+  int64_t type_size = 0;
+  for (auto _ : state) {
+    DfaXsd upper = MinimalUpperApproximation(edtd);
+    type_size = upper.type_size();
+    benchmark::DoNotOptimize(type_size);
+  }
+  state.counters["n"] = n;
+  state.counters["input_size"] = static_cast<double>(edtd.Size());
+  state.counters["type_size"] = static_cast<double>(type_size);
+  state.counters["minimized_type_size"] = static_cast<double>(
+      MinimizeXsd(MinimalUpperApproximation(edtd)).type_size());
+}
+
+BENCHMARK(BM_MinimalUpperApproximation)
+    ->DenseRange(2, 12, 2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace stap

@@ -1,0 +1,99 @@
+// Closure under (ancestor-type-)guarded subtree exchange on finite tree
+// sets, with derivation-tree witnesses (paper, Section 2.5 and 4.4.2).
+//
+// closure(X) is the least set containing X closed under ancestor-guarded
+// subtree exchange (Definition 2.14); every member has a derivation tree
+// (Definition 2.16, Lemma 2.17). These fixpoints are exact on finite seed
+// sets and power the maximal-lower-approximation checks (substituting the
+// paper's 2EXPTIME automaton construction on bounded instances).
+#ifndef STAP_APPROX_CLOSURE_H_
+#define STAP_APPROX_CLOSURE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "stap/automata/dfa.h"
+#include "stap/tree/tree.h"
+
+namespace stap {
+
+// How a closure member was produced: trees[base] with the subtree at
+// base_path replaced by the subtree of trees[donor] at donor_path.
+struct ExchangeStep {
+  int base;
+  TreePath base_path;
+  int donor;
+  TreePath donor_path;
+};
+
+struct ClosureResult {
+  // trees[0..seed_count-1] are the seeds, the rest derived members.
+  std::vector<Tree> trees;
+  int seed_count = 0;
+  // provenance[i] is empty for seeds.
+  std::vector<std::optional<ExchangeStep>> provenance;
+  // False if the fixpoint was stopped by the cap or the stop predicate
+  // before saturating.
+  bool saturated = true;
+  // The member that triggered ClosureOptions::stop_predicate, if any.
+  std::optional<Tree> stop_match;
+
+  bool Contains(const Tree& tree) const;
+};
+
+struct ClosureOptions {
+  // Stop after this many members (saturated=false). Ancestor-string
+  // guards keep closures of finite sets finite (exchange positions sit at
+  // fixed depths), but type-guarded closures can be infinite — e.g. seeds
+  // {a, a(a)} under a one-state guard pump chains of every length.
+  int max_trees = 10000;
+  // Ignore exchanged results bigger than this many nodes (0 = no limit).
+  // Bounding node count keeps fixpoints finite; members beyond the bound
+  // are not explored, so use only when the target language is bounded.
+  int max_nodes = 0;
+  // When set, the fixpoint stops as soon as a member satisfies the
+  // predicate (recorded in ClosureResult::stop_match, saturated=false).
+  // Used to search for escape witnesses without materializing the whole
+  // closure.
+  std::function<bool(const Tree&)> stop_predicate;
+};
+
+// Least fixpoint of ancestor-guarded subtree exchange (Definition 2.10
+// guard: equal ancestor *strings*).
+ClosureResult CloseUnderExchange(const std::vector<Tree>& seeds,
+                                 const ClosureOptions& options = {});
+
+// Ancestor-type-guarded variant (Definition 4.1): nodes are exchangeable
+// when `guard` — a DFA over Σ read on ancestor strings — reaches the same
+// state on both (and the labels agree, as for state-labeled automata).
+// Undefined runs compare by the dead state.
+ClosureResult CloseUnderTypeGuardedExchange(const std::vector<Tree>& seeds,
+                                            const Dfa& guard,
+                                            const ClosureOptions& options = {});
+
+// Binary derivation tree (Definition 2.16): leaves are seeds, internal
+// nodes combine their children by one exchange.
+struct DerivationTree {
+  Tree value;
+  std::unique_ptr<DerivationTree> left;   // both null for a seed leaf
+  std::unique_ptr<DerivationTree> right;
+
+  int Height() const;
+  int NumLeaves() const;
+};
+
+// Reconstructs a derivation tree for trees[index] from the provenance
+// recorded during the fixpoint (Lemma 2.17's witness).
+DerivationTree BuildDerivation(const ClosureResult& result, int index);
+
+// Convenience: the first closure member for which `escapes` returns true,
+// if any — used to exhibit counterexamples like the paper's Theorem 4.3.
+std::optional<Tree> FindEscape(const ClosureResult& result,
+                               const std::function<bool(const Tree&)>& escapes);
+
+}  // namespace stap
+
+#endif  // STAP_APPROX_CLOSURE_H_

@@ -1,0 +1,151 @@
+#include "stap/approx/decompose.h"
+
+#include <algorithm>
+
+#include "stap/base/check.h"
+
+namespace stap {
+
+namespace {
+
+bool IsPrefix(const TreePath& prefix, const TreePath& path) {
+  if (prefix.size() > path.size()) return false;
+  return std::equal(prefix.begin(), prefix.end(), path.begin());
+}
+
+int HolesBelow(const std::vector<TreePath>& holes, const TreePath& path) {
+  int count = 0;
+  for (const TreePath& hole : holes) {
+    if (IsPrefix(path, hole)) ++count;
+  }
+  return count;
+}
+
+bool IsHole(const std::vector<TreePath>& holes, const TreePath& path) {
+  for (const TreePath& hole : holes) {
+    if (hole == path) return true;
+  }
+  return false;
+}
+
+// Builds the context piece spanning entry..v: the subtree at `entry` with
+// everything below `v` removed and the hole placed at `v` (paths relative
+// to entry).
+TreeContext ContextPiece(const Tree& root, const TreePath& entry,
+                         const TreePath& v) {
+  STAP_CHECK(IsPrefix(entry, v));
+  TreePath relative(v.begin() + entry.size(), v.end());
+  return TreeContext::Extract(root.At(entry), relative);
+}
+
+std::unique_ptr<DecompositionNode> DecomposeFrom(
+    const Tree& root, const std::vector<TreePath>& holes,
+    const TreePath& entry) {
+  STAP_CHECK(HolesBelow(holes, entry) >= 1);
+  // Walk down while exactly one side still contains holes.
+  TreePath v = entry;
+  while (true) {
+    if (IsHole(holes, v)) {
+      auto node = std::make_unique<DecompositionNode>();
+      node->context = ContextPiece(root, entry, v);
+      return node;  // terminal context: its hole is an original hole
+    }
+    const Tree& here = root.At(v);
+    STAP_CHECK(here.children.size() == 2);  // binary, holes are leaves
+    TreePath left = v, right = v;
+    left.push_back(0);
+    right.push_back(1);
+    int holes_left = HolesBelow(holes, left);
+    int holes_right = HolesBelow(holes, right);
+    STAP_CHECK(holes_left + holes_right >= 1);
+    if (holes_left > 0 && holes_right > 0) {
+      // Branch node: context down to v, then a fork, then two pieces.
+      auto fork_node = std::make_unique<DecompositionNode>();
+      fork_node->fork = Fork{here.label, here.children[0].label,
+                             here.children[1].label};
+      fork_node->children.push_back(DecomposeFrom(root, holes, left));
+      fork_node->children.push_back(DecomposeFrom(root, holes, right));
+
+      auto context_node = std::make_unique<DecompositionNode>();
+      context_node->context = ContextPiece(root, entry, v);
+      context_node->children.push_back(std::move(fork_node));
+      return context_node;
+    }
+    v = holes_left > 0 ? left : right;
+  }
+}
+
+}  // namespace
+
+GeneralizedContext GeneralizedContext::Make(Tree tree,
+                                            std::vector<TreePath> holes) {
+  STAP_CHECK(!holes.empty());
+  for (const TreePath& hole : holes) {
+    STAP_CHECK(tree.IsValidPath(hole));
+    STAP_CHECK(tree.At(hole).IsLeaf());
+  }
+  std::sort(holes.begin(), holes.end());
+  return GeneralizedContext{std::move(tree), std::move(holes)};
+}
+
+int DecompositionNode::NumContexts() const {
+  int count = context.has_value() ? 1 : 0;
+  for (const auto& child : children) count += child->NumContexts();
+  return count;
+}
+
+int DecompositionNode::NumForks() const {
+  int count = fork.has_value() ? 1 : 0;
+  for (const auto& child : children) count += child->NumForks();
+  return count;
+}
+
+DecompositionNode Decompose(const GeneralizedContext& input) {
+  std::unique_ptr<DecompositionNode> root =
+      DecomposeFrom(input.tree, input.holes, TreePath{});
+  return std::move(*root);
+}
+
+GeneralizedContext Reassemble(const DecompositionNode& node) {
+  if (node.fork.has_value()) {
+    STAP_CHECK(node.children.size() == 2);
+    GeneralizedContext left = Reassemble(*node.children[0]);
+    GeneralizedContext right = Reassemble(*node.children[1]);
+    STAP_CHECK(left.tree.label == node.fork->left_label);
+    STAP_CHECK(right.tree.label == node.fork->right_label);
+    GeneralizedContext result;
+    result.tree = Tree(node.fork->root_label, {left.tree, right.tree});
+    for (const TreePath& hole : left.holes) {
+      TreePath path = {0};
+      path.insert(path.end(), hole.begin(), hole.end());
+      result.holes.push_back(std::move(path));
+    }
+    for (const TreePath& hole : right.holes) {
+      TreePath path = {1};
+      path.insert(path.end(), hole.begin(), hole.end());
+      result.holes.push_back(std::move(path));
+    }
+    std::sort(result.holes.begin(), result.holes.end());
+    return result;
+  }
+  STAP_CHECK(node.context.has_value());
+  if (node.children.empty()) {
+    // Terminal context: its hole is an original hole.
+    return GeneralizedContext{node.context->tree, {node.context->hole}};
+  }
+  STAP_CHECK(node.children.size() == 1);
+  GeneralizedContext inner = Reassemble(*node.children[0]);
+  STAP_CHECK(inner.tree.label == node.context->hole_label());
+  GeneralizedContext result;
+  result.tree = node.context->tree.ReplaceSubtree(node.context->hole,
+                                                  inner.tree);
+  for (const TreePath& hole : inner.holes) {
+    TreePath path = node.context->hole;
+    path.insert(path.end(), hole.begin(), hole.end());
+    result.holes.push_back(std::move(path));
+  }
+  std::sort(result.holes.begin(), result.holes.end());
+  return result;
+}
+
+}  // namespace stap

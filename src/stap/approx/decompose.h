@@ -1,0 +1,65 @@
+// Generalized contexts and their decomposition into contexts and forks
+// (paper, Section 4.4.2: Lemmas 4.17–4.19 and Figure 2).
+//
+// The 2EXPTIME construction of Lemma 4.16 must track how subtree
+// exchanges recombine pieces of a tree. The pieces are: subtrees,
+// contexts (one hole), and *generalized contexts* (any number of holes).
+// A tree automaton cannot remember the unbounded effect of a generalized
+// context, but Lemma 4.18 shows every generalized context partitions into
+// ordinary contexts and *forks* — three-node binary trees whose two
+// leaves are holes — which have bounded effect descriptions. This module
+// implements that partition (and its inverse) on binary trees, exactly as
+// Figure 2 depicts.
+#ifndef STAP_APPROX_DECOMPOSE_H_
+#define STAP_APPROX_DECOMPOSE_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "stap/tree/context.h"
+#include "stap/tree/tree.h"
+
+namespace stap {
+
+// A binary tree with >= 1 hole leaves (hole labels kept on the nodes).
+struct GeneralizedContext {
+  Tree tree;
+  std::vector<TreePath> holes;  // sorted lexicographically
+
+  // Marks the subtree positions of `tree` given by `holes` (each must be
+  // a leaf) as holes.
+  static GeneralizedContext Make(Tree tree, std::vector<TreePath> holes);
+};
+
+// A fork: root with two hole children (labels only; Section 4.4.2).
+struct Fork {
+  int root_label;
+  int left_label;
+  int right_label;
+};
+
+// One node of the decomposition: either a context piece with at most one
+// continuation (none when its hole is an original hole), or a fork piece
+// with exactly two continuations.
+struct DecompositionNode {
+  std::optional<TreeContext> context;
+  std::optional<Fork> fork;
+  std::vector<std::unique_ptr<DecompositionNode>> children;
+
+  int NumContexts() const;
+  int NumForks() const;
+};
+
+// Lemma 4.18: partitions the generalized context into contexts and forks.
+// Require: every node of `input.tree` has 0 or 2 children and every hole
+// is a leaf.
+DecompositionNode Decompose(const GeneralizedContext& input);
+
+// Inverse of Decompose: plugging the pieces back together returns the
+// original generalized context.
+GeneralizedContext Reassemble(const DecompositionNode& node);
+
+}  // namespace stap
+
+#endif  // STAP_APPROX_DECOMPOSE_H_

@@ -1,0 +1,76 @@
+#include "stap/approx/diff_report.h"
+
+#include <sstream>
+
+#include "stap/approx/upper_boolean.h"
+#include "stap/approx/witness.h"
+#include "stap/base/check.h"
+#include "stap/schema/count.h"
+#include "stap/schema/reduce.h"
+#include "stap/schema/single_type.h"
+#include "stap/schema/type_automaton.h"
+#include "stap/tree/xml.h"
+
+namespace stap {
+
+const char* SchemaRelationName(SchemaRelation relation) {
+  switch (relation) {
+    case SchemaRelation::kEquivalent:
+      return "EQUIVALENT";
+    case SchemaRelation::kSubset:
+      return "SUBSET";
+    case SchemaRelation::kSuperset:
+      return "SUPERSET";
+    case SchemaRelation::kIncomparable:
+      return "INCOMPARABLE";
+  }
+  return "UNKNOWN";
+}
+
+SchemaDiffReport CompareSchemas(const Edtd& a_in, const Edtd& b_in,
+                                int count_depth, int count_width) {
+  auto [a_aligned, b_aligned] = AlignAlphabets(a_in, b_in);
+  Edtd a = ReduceEdtd(a_aligned);
+  Edtd b = ReduceEdtd(b_aligned);
+  STAP_CHECK(IsSingleType(a));
+  STAP_CHECK(IsSingleType(b));
+
+  SchemaDiffReport report;
+  report.sigma = a.sigma;
+
+  DfaXsd xsd_a = DfaXsdFromStEdtd(a);
+  DfaXsd xsd_b = DfaXsdFromStEdtd(b);
+  report.only_in_a = XsdInclusionWitness(a, xsd_b);
+  report.only_in_b = XsdInclusionWitness(b, xsd_a);
+  if (report.only_in_a.has_value() && report.only_in_b.has_value()) {
+    report.relation = SchemaRelation::kIncomparable;
+  } else if (report.only_in_a.has_value()) {
+    report.relation = SchemaRelation::kSuperset;
+  } else if (report.only_in_b.has_value()) {
+    report.relation = SchemaRelation::kSubset;
+  } else {
+    report.relation = SchemaRelation::kEquivalent;
+  }
+
+  report.count_a = CountDocuments(xsd_a, count_depth, count_width);
+  report.count_b = CountDocuments(xsd_b, count_depth, count_width);
+  report.count_intersection = CountDocuments(
+      UpperIntersection(a, b), count_depth, count_width);
+  return report;
+}
+
+std::string SchemaDiffReport::ToString() const {
+  std::ostringstream os;
+  os << "relation: " << SchemaRelationName(relation) << "\n"
+     << "documents (bounded): A=" << count_a << " B=" << count_b
+     << " A∩B=" << count_intersection << "\n";
+  if (only_in_a.has_value()) {
+    os << "only in A:\n" << ToXml(*only_in_a, sigma);
+  }
+  if (only_in_b.has_value()) {
+    os << "only in B:\n" << ToXml(*only_in_b, sigma);
+  }
+  return os.str();
+}
+
+}  // namespace stap

@@ -1,0 +1,107 @@
+#include "stap/approx/inclusion.h"
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "stap/approx/upper_boolean.h"
+#include "stap/automata/inclusion.h"
+#include "stap/automata/ops.h"
+#include "stap/base/check.h"
+#include "stap/schema/reduce.h"
+#include "stap/schema/type_automaton.h"
+
+namespace stap {
+
+bool EdtdIncludedInXsd(const Edtd& d1_in, const DfaXsd& xsd2) {
+  // Align alphabets by rebuilding d1 over xsd2's alphabet extended with
+  // d1's extra symbols; symbols unknown to xsd2 make inclusion fail as
+  // soon as they are reachable.
+  Edtd d1 = ReduceEdtd(d1_in);
+  if (d1.num_types() == 0) return true;  // empty language
+
+  Alphabet merged = xsd2.sigma;
+  std::vector<int> remap(d1.sigma.size());
+  for (int a = 0; a < d1.sigma.size(); ++a) {
+    remap[a] = merged.Intern(d1.sigma.Name(a));
+  }
+  const int num_symbols = merged.size();
+  const bool extra_symbols = num_symbols > xsd2.sigma.size();
+  for (int tau = 0; tau < d1.num_types(); ++tau) d1.mu[tau] = remap[d1.mu[tau]];
+  d1.sigma = merged;
+
+  TypeAutomaton a1 = BuildTypeAutomaton(d1);
+
+  // Root check: every D1 start label must be an allowed XSD start symbol.
+  for (int tau : d1.start_types) {
+    if (d1.mu[tau] >= xsd2.sigma.size() ||
+        !StateSetContains(xsd2.start_symbols, d1.mu[tau]) ||
+        xsd2.automaton.Next(0, d1.mu[tau]) == kNoState) {
+      return false;
+    }
+  }
+
+  // BFS over reachable (type-automaton state, XSD state) pairs; check the
+  // content-model inclusion μ1(d1(τ)) ⊆ f2(q) at every pair.
+  std::map<std::pair<int, int>, bool> seen;
+  std::vector<std::pair<int, int>> worklist;
+  auto visit = [&](int s1, int q2) {
+    auto [it, inserted] = seen.emplace(std::make_pair(s1, q2), true);
+    if (inserted) worklist.emplace_back(s1, q2);
+  };
+  visit(TypeAutomaton::kInit, 0);
+  size_t processed = 0;
+  while (processed < worklist.size()) {
+    auto [s1, q2] = worklist[processed];
+    ++processed;
+    if (s1 != TypeAutomaton::kInit) {
+      int tau = TypeAutomaton::TypeOfState(s1);
+      // Content inclusion. With extra symbols the image ranges over the
+      // merged alphabet while f2 ranges over xsd2's; expand f2 (the extra
+      // symbols then reject, which is the desired semantics).
+      Nfa image = HomomorphicImage(d1.content[tau], d1.mu, num_symbols);
+      Dfa f2 = xsd2.content[q2];
+      if (extra_symbols) {
+        Dfa expanded(std::max(f2.num_states(), 1), num_symbols);
+        if (f2.num_states() > 0) {
+          expanded.SetInitial(f2.initial());
+          for (int s = 0; s < f2.num_states(); ++s) {
+            if (f2.IsFinal(s)) expanded.SetFinal(s);
+            for (int a = 0; a < f2.num_symbols(); ++a) {
+              int r = f2.Next(s, a);
+              if (r != kNoState) expanded.SetTransition(s, a, r);
+            }
+          }
+        }
+        f2 = std::move(expanded);
+      }
+      if (!NfaIncludedInDfa(image, f2)) return false;
+    }
+    // Expand along both automata; when the XSD side has no transition the
+    // content check above has already failed (reduced d1 guarantees the
+    // symbol occurs), so pruning is sound.
+    for (int a = 0; a < num_symbols; ++a) {
+      const StateSet& succ1 = a1.nfa.Next(s1, a);
+      if (succ1.empty()) continue;
+      int q2_next =
+          a < xsd2.sigma.size() ? xsd2.automaton.Next(q2, a) : kNoState;
+      if (q2_next == kNoState) continue;
+      for (int s1_next : succ1) visit(s1_next, q2_next);
+    }
+  }
+  return true;
+}
+
+bool IncludedInSingleType(const Edtd& d1, const Edtd& d2_in) {
+  auto [d1_aligned, d2_aligned] = AlignAlphabets(d1, d2_in);
+  Edtd d2 = ReduceEdtd(d2_aligned);
+  STAP_CHECK(IsSingleType(d2));
+  if (d2.num_types() == 0) return ReduceEdtd(d1_aligned).num_types() == 0;
+  return EdtdIncludedInXsd(d1_aligned, DfaXsdFromStEdtd(d2));
+}
+
+bool SingleTypeEquivalent(const Edtd& d1, const Edtd& d2) {
+  return IncludedInSingleType(d1, d2) && IncludedInSingleType(d2, d1);
+}
+
+}  // namespace stap

@@ -1,0 +1,28 @@
+// Polynomial-time inclusion tests into single-type schemas
+// (paper, Lemma 3.3).
+//
+// L(D1) ⊆ L(D2) for an EDTD D1 and a single-type D2 reduces to (1) the
+// reachable pairs of the two type automata and (2) per-pair content-model
+// inclusion — both polynomial because D2's type automaton is
+// deterministic. Contrast with the EXPTIME route in treeauto/exact.h.
+#ifndef STAP_APPROX_INCLUSION_H_
+#define STAP_APPROX_INCLUSION_H_
+
+#include "stap/schema/edtd.h"
+#include "stap/schema/single_type.h"
+
+namespace stap {
+
+// L(d1) ⊆ L(xsd2)? Polynomial in |d1| + |xsd2|. `d1` is reduced
+// internally; alphabets are aligned by name.
+bool EdtdIncludedInXsd(const Edtd& d1, const DfaXsd& xsd2);
+
+// Convenience wrapper: d2 must be single-type (checked).
+bool IncludedInSingleType(const Edtd& d1, const Edtd& d2);
+
+// Language equivalence of two single-type EDTDs (both checked).
+bool SingleTypeEquivalent(const Edtd& d1, const Edtd& d2);
+
+}  // namespace stap
+
+#endif  // STAP_APPROX_INCLUSION_H_

@@ -1,0 +1,94 @@
+#include "stap/approx/lower_check.h"
+
+#include <vector>
+
+#include "stap/approx/upper.h"
+#include "stap/approx/upper_boolean.h"
+#include "stap/base/check.h"
+#include "stap/schema/reduce.h"
+#include "stap/schema/single_type.h"
+#include "stap/schema/type_automaton.h"
+#include "stap/treeauto/exact.h"
+
+namespace stap {
+
+Dfa NkAutomaton(int k, int num_symbols) {
+  STAP_CHECK(k >= 0);
+  STAP_CHECK(num_symbols >= 1);
+  // States: one per string of length <= k (trie layout) plus an absorbing
+  // overflow state. The trie has (s^(k+1) - 1) / (s - 1) nodes.
+  int64_t nodes = 0;
+  int64_t layer = 1;
+  for (int depth = 0; depth <= k; ++depth) {
+    nodes += layer;
+    layer *= num_symbols;
+  }
+  STAP_CHECK(nodes + 1 < (int64_t{1} << 30));  // keep instances sane
+  Dfa dfa(static_cast<int>(nodes) + 1, num_symbols);
+  const int overflow = static_cast<int>(nodes);
+  // Trie numbering: children of node v are v * s + 1 + a.
+  for (int v = 0; v < nodes; ++v) {
+    for (int a = 0; a < num_symbols; ++a) {
+      int64_t child = static_cast<int64_t>(v) * num_symbols + 1 + a;
+      dfa.SetTransition(v, a, child < nodes ? static_cast<int>(child)
+                                            : overflow);
+    }
+  }
+  for (int a = 0; a < num_symbols; ++a) {
+    dfa.SetTransition(overflow, a, overflow);
+  }
+  return dfa;
+}
+
+LowerCheckResult CheckMaximalLowerFinite(const Edtd& candidate_in,
+                                         const Edtd& target_in,
+                                         const TreeBounds& bounds,
+                                         const ClosureOptions& options) {
+  auto [candidate_aligned, target_aligned] =
+      AlignAlphabets(candidate_in, target_in);
+  Edtd candidate = ReduceEdtd(candidate_aligned);
+  Edtd target = ReduceEdtd(target_aligned);
+  STAP_CHECK(IsSingleType(candidate));
+
+  LowerCheckResult result;
+  result.is_lower = EdtdIncludedInExact(candidate, target);
+  if (!result.is_lower) return result;
+
+  // Bounded enumerations of both languages.
+  std::vector<Tree> in_candidate;
+  std::vector<Tree> extension_pool;
+  for (const Tree& tree : EnumerateTrees(bounds)) {
+    if (candidate.Accepts(tree)) {
+      in_candidate.push_back(tree);
+    } else if (target.Accepts(tree)) {
+      extension_pool.push_back(tree);
+    }
+  }
+
+  ClosureOptions exchange_options = options;
+  // Abort a closure as soon as it leaves the target language.
+  exchange_options.stop_predicate = [&target](const Tree& member) {
+    return !target.Accepts(member);
+  };
+  for (const Tree& t : extension_pool) {
+    std::vector<Tree> seeds = in_candidate;
+    seeds.push_back(t);
+    ClosureResult closure = CloseUnderExchange(seeds, exchange_options);
+    bool escaped = closure.stop_match.has_value();
+    if (!escaped && !closure.saturated) result.exhaustive = false;
+    if (!escaped && closure.saturated) {
+      result.extension = t;
+      return result;
+    }
+  }
+  result.is_maximal = result.exhaustive;
+  return result;
+}
+
+bool IsSingleTypeDefinable(const Edtd& edtd) {
+  DfaXsd upper = MinimalUpperApproximation(edtd);
+  // L(edtd) ⊆ L(upper) always; definability is the converse inclusion.
+  return EdtdIncludedInExact(StEdtdFromDfaXsd(upper), edtd);
+}
+
+}  // namespace stap

@@ -1,0 +1,57 @@
+// Maximal lower XSD-approximation checks (paper, Section 4.4).
+//
+// The paper's general decision procedure (Theorem 4.15) builds a doubly
+// exponential tree automaton over the guard automaton N_k; it is a
+// decidability result rather than a runnable algorithm. This module
+// implements the same predicate for *finite* (depth- and width-bounded)
+// instances by computing the closure fixpoints exactly:
+//
+//   S is a maximal lower approximation of D iff there is no t ∈ L(D) with
+//   closure(L(S) ∪ {t}) ⊆ L(D)                       (Section 4.4.2)
+//
+// quantifying t over the bounded enumeration and evaluating the closure
+// with approx/closure.h. The guard automaton N_k (whose states separate
+// all ancestor strings up to length k) is also provided, matching the
+// paper's reduction of ancestor-guarded to ancestor-type-guarded exchange
+// on depth-bounded languages.
+#ifndef STAP_APPROX_LOWER_CHECK_H_
+#define STAP_APPROX_LOWER_CHECK_H_
+
+#include <optional>
+
+#include "stap/approx/closure.h"
+#include "stap/schema/edtd.h"
+#include "stap/tree/enumerate.h"
+
+namespace stap {
+
+// The DFA N_k: separates every pair of distinct strings of length <= k
+// (a complete |Σ|-ary trie with an absorbing overflow state).
+Dfa NkAutomaton(int k, int num_symbols);
+
+struct LowerCheckResult {
+  bool is_lower = false;    // L(S) ⊆ L(D)
+  bool is_maximal = false;  // no closure-safe extension tree exists
+  // A tree t ∈ L(D) \ L(S) with closure(L(S) ∪ {t}) ⊆ L(D), when found.
+  std::optional<Tree> extension;
+  // False when a closure fixpoint hit its cap; is_maximal is then only
+  // "no extension found within the caps".
+  bool exhaustive = true;
+};
+
+// Decides maximality of the lower approximation on the bounded instance:
+// both languages are taken restricted to `bounds` (exact when both are
+// finite and contained in the bounds). `candidate` must be single-type.
+LowerCheckResult CheckMaximalLowerFinite(const Edtd& candidate,
+                                         const Edtd& target,
+                                         const TreeBounds& bounds,
+                                         const ClosureOptions& options = {});
+
+// Is L(edtd) definable by a single-type EDTD at all? (Martens et al.'s
+// EXPTIME test, via Theorem 3.2: the language is single-type definable iff
+// it equals its minimal upper approximation.)
+bool IsSingleTypeDefinable(const Edtd& edtd);
+
+}  // namespace stap
+
+#endif  // STAP_APPROX_LOWER_CHECK_H_

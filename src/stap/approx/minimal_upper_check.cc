@@ -1,0 +1,100 @@
+#include "stap/approx/minimal_upper_check.h"
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "stap/approx/inclusion.h"
+#include "stap/approx/upper_boolean.h"
+#include "stap/automata/determinize.h"
+#include "stap/automata/inclusion.h"
+#include "stap/automata/minimize.h"
+#include "stap/automata/ops.h"
+#include "stap/base/check.h"
+#include "stap/schema/reduce.h"
+#include "stap/schema/single_type.h"
+#include "stap/schema/type_automaton.h"
+
+namespace stap {
+
+bool IsMinimalUpperApproximation(const Edtd& candidate_in,
+                                 const Edtd& target_in) {
+  auto [candidate_aligned, target_aligned] =
+      AlignAlphabets(candidate_in, target_in);
+  Edtd candidate = ReduceEdtd(candidate_aligned);
+  Edtd target = ReduceEdtd(target_aligned);
+  STAP_CHECK(IsSingleType(candidate));
+  const int num_symbols = candidate.num_symbols();
+
+  // Phase 1: the candidate must be an upper approximation at all:
+  // L(target) ⊆ L(candidate). Polynomial (Lemma 3.3).
+  if (target.num_types() == 0) return candidate.num_types() == 0;
+  if (candidate.num_types() == 0) return false;
+  DfaXsd candidate_xsd = DfaXsdFromStEdtd(candidate);
+  if (!EdtdIncludedInXsd(target, candidate_xsd)) return false;
+
+  // Phase 2: L(candidate) ⊆ L(minupper(target)) — per the paper it
+  // suffices to check inclusion, since minupper is the least single-type
+  // language containing L(target). Walk pairs (candidate XSD state,
+  // subset of target types) materializing subsets on demand.
+  TypeAutomaton target_types = BuildTypeAutomaton(target);
+
+  // Candidate root labels must all be allowed by minupper, whose start
+  // symbols are μ(S_target).
+  std::vector<bool> target_root(num_symbols, false);
+  for (int tau : target.start_types) target_root[target.mu[tau]] = true;
+  for (int a : candidate_xsd.start_symbols) {
+    if (!target_root[a]) return false;
+  }
+
+  // Cache of determinized content unions per target-type subset.
+  std::map<StateSet, Dfa> content_cache;
+  auto subset_content = [&](const StateSet& subset) -> const Dfa& {
+    auto it = content_cache.find(subset);
+    if (it != content_cache.end()) return it->second;
+    Nfa content_union(0, num_symbols);
+    bool first = true;
+    for (int state : subset) {
+      int tau = TypeAutomaton::TypeOfState(state);
+      Nfa image =
+          HomomorphicImage(target.content[tau], target.mu, num_symbols);
+      content_union = first ? std::move(image)
+                            : NfaUnion(content_union, image);
+      first = false;
+    }
+    STAP_CHECK(!first);
+    return content_cache.emplace(subset, Determinize(content_union))
+        .first->second;
+  };
+
+  std::map<std::pair<int, StateSet>, bool> seen;
+  std::vector<std::pair<int, StateSet>> worklist;
+  auto visit = [&](int q, StateSet subset) {
+    auto [it, inserted] =
+        seen.emplace(std::make_pair(q, std::move(subset)), true);
+    if (inserted) worklist.push_back(it->first);
+  };
+  visit(0, StateSet{TypeAutomaton::kInit});
+
+  size_t processed = 0;
+  while (processed < worklist.size()) {
+    auto [q, subset] = worklist[processed];
+    ++processed;
+    if (q != 0) {
+      // Candidate content must be inside the union of the subset's
+      // contents.
+      Nfa image = candidate_xsd.content[q].ToNfa();
+      if (!NfaIncludedInDfa(image, subset_content(subset))) return false;
+    }
+    for (int a = 0; a < num_symbols; ++a) {
+      int q_next = candidate_xsd.automaton.Next(q, a);
+      if (q_next == kNoState) continue;
+      StateSet subset_next = target_types.nfa.Next(subset, a);
+      if (subset_next.empty()) continue;  // caught by the content check
+      visit(q_next, std::move(subset_next));
+    }
+  }
+  return true;
+}
+
+}  // namespace stap

@@ -1,0 +1,22 @@
+// Deciding whether a single-type EDTD is the minimal upper
+// XSD-approximation of an EDTD (paper, Theorem 3.5 — PSPACE-complete).
+//
+// The check runs in two phases: the polynomial inclusion
+// L(target) ⊆ L(candidate) (Lemma 3.3), then the on-the-fly product of the
+// candidate's type automaton with the subset automaton of the target's —
+// subsets are materialized lazily, so space stays proportional to the
+// frontier rather than to the full exponential construction.
+#ifndef STAP_APPROX_MINIMAL_UPPER_CHECK_H_
+#define STAP_APPROX_MINIMAL_UPPER_CHECK_H_
+
+#include "stap/schema/edtd.h"
+
+namespace stap {
+
+// Is L(candidate) the minimal upper XSD-approximation of L(target)?
+// `candidate` must be single-type (checked); `target` may be any EDTD.
+bool IsMinimalUpperApproximation(const Edtd& candidate, const Edtd& target);
+
+}  // namespace stap
+
+#endif  // STAP_APPROX_MINIMAL_UPPER_CHECK_H_

@@ -1,0 +1,87 @@
+#include "stap/approx/upper.h"
+
+#include <vector>
+
+#include "stap/automata/determinize.h"
+#include "stap/automata/minimize.h"
+#include "stap/automata/ops.h"
+#include "stap/base/check.h"
+#include "stap/schema/reduce.h"
+#include "stap/schema/type_automaton.h"
+
+namespace stap {
+
+DfaXsd MinimalUpperApproximation(const Edtd& input,
+                                 const UpperOptions& options) {
+  Edtd edtd = ReduceEdtd(input);
+  TypeAutomaton type_automaton = BuildTypeAutomaton(edtd);
+
+  // Subset construction on the type automaton. Each reachable subset is
+  // either {q_init}, empty (the dead sink), or a set of type states that
+  // all carry the same Σ-label.
+  std::vector<StateSet> subsets;
+  Dfa determinized = Determinize(type_automaton.nfa, &subsets);
+
+  // Renumber: {q_init} becomes state 0; non-empty subsets get 1..; the
+  // empty sink is dropped.
+  const int n = determinized.num_states();
+  std::vector<int> remap(n, kNoState);
+  STAP_CHECK(subsets[determinized.initial()] ==
+             StateSet{TypeAutomaton::kInit});
+  remap[determinized.initial()] = 0;
+  int next_id = 1;
+  for (int s = 0; s < n; ++s) {
+    if (s == determinized.initial() || subsets[s].empty()) continue;
+    remap[s] = next_id++;
+  }
+
+  DfaXsd xsd;
+  xsd.sigma = edtd.sigma;
+  for (int tau : edtd.start_types) {
+    StateSetInsert(xsd.start_symbols, edtd.mu[tau]);
+  }
+  xsd.automaton = Dfa(next_id, edtd.num_symbols());
+  xsd.automaton.SetInitial(0);
+  xsd.state_label.assign(next_id, kNoSymbol);
+  xsd.content.assign(next_id, Dfa::EmptyLanguage(edtd.num_symbols()));
+
+  for (int s = 0; s < n; ++s) {
+    if (remap[s] == kNoState) continue;
+    for (int a = 0; a < edtd.num_symbols(); ++a) {
+      int t = determinized.Next(s, a);
+      if (t != kNoState && remap[t] != kNoState) {
+        xsd.automaton.SetTransition(remap[s], a, remap[t]);
+      }
+    }
+    if (remap[s] == 0) continue;
+
+    // Label of the merged state and union of the content images.
+    int label = kNoSymbol;
+    Nfa content_union(0, edtd.num_symbols());
+    bool first = true;
+    for (int state : subsets[s]) {
+      STAP_CHECK(state != TypeAutomaton::kInit);
+      int tau = TypeAutomaton::TypeOfState(state);
+      if (first) {
+        label = edtd.mu[tau];
+        content_union =
+            HomomorphicImage(edtd.content[tau], edtd.mu, edtd.num_symbols());
+        first = false;
+      } else {
+        STAP_CHECK(label == edtd.mu[tau]);
+        content_union = NfaUnion(
+            content_union,
+            HomomorphicImage(edtd.content[tau], edtd.mu, edtd.num_symbols()));
+      }
+    }
+    STAP_CHECK(!first);  // non-empty subset
+    xsd.state_label[remap[s]] = label;
+    xsd.content[remap[s]] = options.minimize_content
+                                ? MinimizeNfa(content_union)
+                                : Determinize(content_union).Trimmed();
+  }
+  xsd.CheckWellFormed();
+  return xsd;
+}
+
+}  // namespace stap

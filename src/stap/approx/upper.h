@@ -1,0 +1,32 @@
+// Minimal upper XSD-approximation of an EDTD (paper, Construction 3.1 and
+// Theorem 3.2).
+//
+// Determinizes the type automaton by the subset construction and unions
+// the content models of the merged types. The result is the unique
+// minimal single-type language containing L(edtd); it can be exponentially
+// larger (Theorem 3.2's family, gen/families.h).
+#ifndef STAP_APPROX_UPPER_H_
+#define STAP_APPROX_UPPER_H_
+
+#include "stap/schema/edtd.h"
+#include "stap/schema/single_type.h"
+
+namespace stap {
+
+struct UpperOptions {
+  // Canonicalize every merged content model (determinize + minimize).
+  // Turning this off keeps determinized-but-unminimized content DFAs:
+  // same language, larger representation — the ablation measured by
+  // bench_upper_edtd.
+  bool minimize_content = true;
+};
+
+// Returns the minimal upper XSD-approximation of L(edtd). The input is
+// reduced internally (Proviso 2.3). States of the result correspond to the
+// reachable non-empty subsets of ∆.
+DfaXsd MinimalUpperApproximation(const Edtd& edtd,
+                                 const UpperOptions& options = {});
+
+}  // namespace stap
+
+#endif  // STAP_APPROX_UPPER_H_

@@ -1,0 +1,32 @@
+// Counterexample documents for failed inclusions (companion to
+// Lemma 3.3).
+//
+// When L(D1) ⊄ L(X) the pair walk of the inclusion test pinpoints a type
+// pair whose content models disagree; from it a concrete witness document
+// in L(D1) \ L(X) can be assembled in polynomial time: minimal subtrees
+// for every type, a spine of minimal contexts down to the offending node,
+// and the offending child string itself. Schema-evolution tooling uses
+// this to *show* the incompatibility rather than just report it.
+#ifndef STAP_APPROX_WITNESS_H_
+#define STAP_APPROX_WITNESS_H_
+
+#include <optional>
+
+#include "stap/schema/edtd.h"
+#include "stap/schema/single_type.h"
+#include "stap/tree/tree.h"
+
+namespace stap {
+
+// A tree in L(d1) \ L(xsd2), or nullopt when L(d1) ⊆ L(xsd2).
+// Polynomial in |d1| + |xsd2| (alphabets are aligned by name; d1 is
+// reduced internally).
+std::optional<Tree> XsdInclusionWitness(const Edtd& d1, const DfaXsd& xsd2);
+
+// Minimal member trees per type of a reduced EDTD (each tree uses the
+// fewest nodes reachable by the greedy bottom-up construction).
+std::vector<Tree> MinimalTypeTrees(const Edtd& edtd);
+
+}  // namespace stap
+
+#endif  // STAP_APPROX_WITNESS_H_

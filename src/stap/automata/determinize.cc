@@ -1,0 +1,46 @@
+#include "stap/automata/determinize.h"
+
+#include <map>
+#include <utility>
+
+namespace stap {
+
+Dfa Determinize(const Nfa& nfa, std::vector<StateSet>* subsets) {
+  const int num_symbols = nfa.num_symbols();
+  std::map<StateSet, int> ids;
+  std::vector<StateSet> worklist;
+
+  Dfa dfa(0, num_symbols);
+  auto intern = [&](StateSet set) -> int {
+    auto [it, inserted] = ids.emplace(std::move(set), dfa.num_states());
+    if (inserted) {
+      dfa.AddState();
+      worklist.push_back(it->first);
+      if (subsets != nullptr) subsets->push_back(it->first);
+    }
+    return it->second;
+  };
+
+  int start = intern(nfa.initial());
+  dfa.SetInitial(start);
+
+  size_t processed = 0;
+  while (processed < worklist.size()) {
+    StateSet current = worklist[processed];
+    int current_id = ids.at(current);
+    ++processed;
+    for (int q : current) {
+      if (nfa.IsFinal(q)) {
+        dfa.SetFinal(current_id);
+        break;
+      }
+    }
+    for (int a = 0; a < num_symbols; ++a) {
+      int next_id = intern(nfa.Next(current, a));
+      dfa.SetTransition(current_id, a, next_id);
+    }
+  }
+  return dfa;
+}
+
+}  // namespace stap

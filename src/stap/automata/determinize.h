@@ -1,0 +1,20 @@
+// Subset construction.
+#ifndef STAP_AUTOMATA_DETERMINIZE_H_
+#define STAP_AUTOMATA_DETERMINIZE_H_
+
+#include <vector>
+
+#include "stap/automata/dfa.h"
+#include "stap/automata/nfa.h"
+
+namespace stap {
+
+// Determinizes `nfa` by the standard subset construction, exploring only
+// reachable subsets. If `subsets` is non-null it receives, for each DFA
+// state, the NFA state set it denotes (the empty set is the dead sink,
+// created only when reachable). The DFA is complete by construction.
+Dfa Determinize(const Nfa& nfa, std::vector<StateSet>* subsets = nullptr);
+
+}  // namespace stap
+
+#endif  // STAP_AUTOMATA_DETERMINIZE_H_

@@ -1,0 +1,75 @@
+#include "stap/automata/dot.h"
+
+#include <sstream>
+
+#include "stap/base/check.h"
+
+namespace stap {
+
+namespace {
+
+std::string SymbolName(int symbol, const Alphabet* alphabet) {
+  if (alphabet != nullptr) {
+    STAP_CHECK(symbol >= 0 && symbol < alphabet->size());
+    return alphabet->Name(symbol);
+  }
+  return std::to_string(symbol);
+}
+
+void EmitHeader(std::ostringstream& os) {
+  os << "digraph automaton {\n"
+     << "  rankdir=LR;\n"
+     << "  node [shape=circle];\n"
+     << "  start [shape=point];\n";
+}
+
+}  // namespace
+
+std::string DfaToDot(const Dfa& dfa, const Alphabet* alphabet) {
+  std::ostringstream os;
+  EmitHeader(os);
+  for (int q = 0; q < dfa.num_states(); ++q) {
+    if (dfa.IsFinal(q)) {
+      os << "  q" << q << " [shape=doublecircle];\n";
+    }
+  }
+  if (dfa.num_states() > 0) {
+    os << "  start -> q" << dfa.initial() << ";\n";
+  }
+  for (int q = 0; q < dfa.num_states(); ++q) {
+    for (int a = 0; a < dfa.num_symbols(); ++a) {
+      int r = dfa.Next(q, a);
+      if (r != kNoState) {
+        os << "  q" << q << " -> q" << r << " [label=\""
+           << SymbolName(a, alphabet) << "\"];\n";
+      }
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string NfaToDot(const Nfa& nfa, const Alphabet* alphabet) {
+  std::ostringstream os;
+  EmitHeader(os);
+  for (int q = 0; q < nfa.num_states(); ++q) {
+    if (nfa.IsFinal(q)) {
+      os << "  q" << q << " [shape=doublecircle];\n";
+    }
+  }
+  for (int q : nfa.initial()) {
+    os << "  start -> q" << q << ";\n";
+  }
+  for (int q = 0; q < nfa.num_states(); ++q) {
+    for (int a = 0; a < nfa.num_symbols(); ++a) {
+      for (int r : nfa.Next(q, a)) {
+        os << "  q" << q << " -> q" << r << " [label=\""
+           << SymbolName(a, alphabet) << "\"];\n";
+      }
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace stap

@@ -1,0 +1,20 @@
+// Graphviz (DOT) rendering of automata and type automata, for debugging
+// and documentation (e.g. reproducing the Example 2.6 figure).
+#ifndef STAP_AUTOMATA_DOT_H_
+#define STAP_AUTOMATA_DOT_H_
+
+#include <string>
+
+#include "stap/automata/dfa.h"
+#include "stap/automata/nfa.h"
+
+namespace stap {
+
+// Symbols are rendered via `alphabet` when given (must cover the
+// automaton's symbol range), as raw ids otherwise.
+std::string DfaToDot(const Dfa& dfa, const Alphabet* alphabet = nullptr);
+std::string NfaToDot(const Nfa& nfa, const Alphabet* alphabet = nullptr);
+
+}  // namespace stap
+
+#endif  // STAP_AUTOMATA_DOT_H_

@@ -1,0 +1,129 @@
+#include "stap/automata/inclusion.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <utility>
+
+#include "stap/base/check.h"
+
+namespace stap {
+
+namespace {
+
+// BFS over pairs (state set of `nfa`, state of completed `dfa`) searching
+// for a pair where the NFA accepts and the DFA does not. Returns a shortest
+// witness word, or nullopt when L(nfa) ⊆ L(dfa).
+//
+// The reachable pairs are at most |2^Q_nfa| x |Q_dfa| in principle, but for
+// the deterministic inputs used by Lemma 3.3 the first component stays a
+// singleton and the search is polynomial. For genuinely non-deterministic
+// inputs this is the textbook subset-product search.
+std::optional<Word> SearchCounterexample(const Nfa& nfa, const Dfa& dfa_in) {
+  STAP_CHECK(nfa.num_symbols() == dfa_in.num_symbols());
+  const Dfa dfa = dfa_in.Completed();
+  const int num_symbols = nfa.num_symbols();
+
+  auto nfa_accepts = [&](const StateSet& set) {
+    return std::any_of(set.begin(), set.end(),
+                       [&](int q) { return nfa.IsFinal(q); });
+  };
+
+  using Pair = std::pair<StateSet, int>;
+  std::map<Pair, int> ids;
+  std::vector<Pair> nodes;
+  std::vector<int> parent;
+  std::vector<int> via_symbol;
+  std::deque<int> queue;
+
+  auto intern = [&](StateSet set, int dfa_state, int from, int symbol) -> int {
+    auto [it, inserted] =
+        ids.emplace(Pair(std::move(set), dfa_state), nodes.size());
+    if (inserted) {
+      nodes.push_back(it->first);
+      parent.push_back(from);
+      via_symbol.push_back(symbol);
+      queue.push_back(it->second);
+    }
+    return it->second;
+  };
+
+  intern(nfa.initial(), dfa.initial(), -1, kNoSymbol);
+  while (!queue.empty()) {
+    int id = queue.front();
+    queue.pop_front();
+    // Copy: intern() below may reallocate `nodes`.
+    const auto [set, dfa_state] = nodes[id];
+    if (nfa_accepts(set) && !dfa.IsFinal(dfa_state)) {
+      Word word;
+      for (int cur = id; parent[cur] >= 0; cur = parent[cur]) {
+        word.push_back(via_symbol[cur]);
+      }
+      std::reverse(word.begin(), word.end());
+      return word;
+    }
+    for (int sym = 0; sym < num_symbols; ++sym) {
+      StateSet next_set = nfa.Next(set, sym);
+      if (next_set.empty()) continue;  // NFA can never accept from here
+      intern(std::move(next_set), dfa.Next(dfa_state, sym), id, sym);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+bool DfaIncludedIn(const Dfa& a, const Dfa& b) {
+  return !DfaInclusionCounterexample(a, b).has_value();
+}
+
+bool NfaIncludedInDfa(const Nfa& nfa, const Dfa& dfa) {
+  return !SearchCounterexample(nfa, dfa).has_value();
+}
+
+bool NfaIncludedInNfa(const Nfa& a, const Nfa& b) {
+  STAP_CHECK(a.num_symbols() == b.num_symbols());
+  const int num_symbols = a.num_symbols();
+  // Pairs (state set of a, state set of b), searching for accept/reject.
+  std::map<std::pair<StateSet, StateSet>, bool> seen;
+  std::vector<std::pair<StateSet, StateSet>> worklist;
+  auto visit = [&](StateSet sa, StateSet sb) {
+    auto [it, inserted] = seen.emplace(
+        std::make_pair(std::move(sa), std::move(sb)), true);
+    if (inserted) worklist.push_back(it->first);
+  };
+  visit(a.initial(), b.initial());
+  auto accepts = [](const Nfa& nfa, const StateSet& set) {
+    for (int q : set) {
+      if (nfa.IsFinal(q)) return true;
+    }
+    return false;
+  };
+  size_t processed = 0;
+  while (processed < worklist.size()) {
+    auto [sa, sb] = worklist[processed];
+    ++processed;
+    if (accepts(a, sa) && !accepts(b, sb)) return false;
+    for (int sym = 0; sym < num_symbols; ++sym) {
+      StateSet next_a = a.Next(sa, sym);
+      if (next_a.empty()) continue;
+      visit(std::move(next_a), b.Next(sb, sym));
+    }
+  }
+  return true;
+}
+
+bool DfaEquivalent(const Dfa& a, const Dfa& b) {
+  return DfaIncludedIn(a, b) && DfaIncludedIn(b, a);
+}
+
+std::optional<Word> DfaInclusionCounterexample(const Dfa& a, const Dfa& b) {
+  return SearchCounterexample(a.ToNfa(), b);
+}
+
+std::optional<Word> NfaDfaInclusionCounterexample(const Nfa& nfa,
+                                                  const Dfa& dfa) {
+  return SearchCounterexample(nfa, dfa);
+}
+
+}  // namespace stap

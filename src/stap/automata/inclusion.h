@@ -1,0 +1,35 @@
+// Language inclusion and equivalence tests.
+#ifndef STAP_AUTOMATA_INCLUSION_H_
+#define STAP_AUTOMATA_INCLUSION_H_
+
+#include <optional>
+
+#include "stap/automata/dfa.h"
+#include "stap/automata/nfa.h"
+
+namespace stap {
+
+// L(a) ⊆ L(b)? Polynomial: product search for a counterexample.
+bool DfaIncludedIn(const Dfa& a, const Dfa& b);
+
+// L(nfa) ⊆ L(dfa)? Polynomial: pairs (NFA state, DFA state) search.
+// This is the engine behind the paper's Lemma 3.3.
+bool NfaIncludedInDfa(const Nfa& nfa, const Dfa& dfa);
+
+// L(a) ⊆ L(b)? Determinizes `b` on the fly (worst-case exponential in
+// |b| — the PSPACE-hard case of Section 5's NFA content models).
+bool NfaIncludedInNfa(const Nfa& a, const Nfa& b);
+
+// L(a) == L(b)?
+bool DfaEquivalent(const Dfa& a, const Dfa& b);
+
+// A shortest word in L(a) \ L(b), if any.
+std::optional<Word> DfaInclusionCounterexample(const Dfa& a, const Dfa& b);
+
+// A shortest word in L(nfa) \ L(dfa), if any.
+std::optional<Word> NfaDfaInclusionCounterexample(const Nfa& nfa,
+                                                  const Dfa& dfa);
+
+}  // namespace stap
+
+#endif  // STAP_AUTOMATA_INCLUSION_H_

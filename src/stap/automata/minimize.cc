@@ -1,0 +1,100 @@
+#include "stap/automata/minimize.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "stap/automata/determinize.h"
+#include "stap/base/check.h"
+
+namespace stap {
+
+namespace {
+
+// Renumbers the states of a (partial, trimmed) DFA in BFS order, symbols
+// ascending. For a minimal DFA this numbering is canonical.
+Dfa CanonicalizeNumbering(const Dfa& dfa) {
+  const int num_symbols = dfa.num_symbols();
+  std::vector<int> remap(dfa.num_states(), kNoState);
+  std::vector<int> order;
+  std::deque<int> queue = {dfa.initial()};
+  remap[dfa.initial()] = 0;
+  order.push_back(dfa.initial());
+  while (!queue.empty()) {
+    int q = queue.front();
+    queue.pop_front();
+    for (int a = 0; a < num_symbols; ++a) {
+      int r = dfa.Next(q, a);
+      if (r != kNoState && remap[r] == kNoState) {
+        remap[r] = static_cast<int>(order.size());
+        order.push_back(r);
+        queue.push_back(r);
+      }
+    }
+  }
+  Dfa result(static_cast<int>(order.size()), num_symbols);
+  result.SetInitial(0);
+  for (int q : order) {
+    if (dfa.IsFinal(q)) result.SetFinal(remap[q]);
+    for (int a = 0; a < num_symbols; ++a) {
+      int r = dfa.Next(q, a);
+      if (r != kNoState && remap[r] != kNoState) {
+        result.SetTransition(remap[q], a, remap[r]);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+Dfa Minimize(const Dfa& input) {
+  Dfa dfa = input.Trimmed().Completed();
+  const int n = dfa.num_states();
+  const int num_symbols = dfa.num_symbols();
+
+  // Moore partition refinement. classes[q] is the block of q.
+  std::vector<int> classes(n);
+  for (int q = 0; q < n; ++q) classes[q] = dfa.IsFinal(q) ? 1 : 0;
+
+  int num_classes = 2;
+  while (true) {
+    // Signature of a state: (its class, classes of its successors).
+    std::map<std::vector<int>, int> signature_ids;
+    std::vector<int> next_classes(n);
+    for (int q = 0; q < n; ++q) {
+      std::vector<int> signature;
+      signature.reserve(num_symbols + 1);
+      signature.push_back(classes[q]);
+      for (int a = 0; a < num_symbols; ++a) {
+        signature.push_back(classes[dfa.Next(q, a)]);
+      }
+      auto [it, inserted] =
+          signature_ids.emplace(std::move(signature), signature_ids.size());
+      next_classes[q] = it->second;
+    }
+    int next_num_classes = static_cast<int>(signature_ids.size());
+    classes = std::move(next_classes);
+    if (next_num_classes == num_classes) break;
+    num_classes = next_num_classes;
+  }
+
+  // Build the quotient automaton.
+  Dfa quotient(num_classes, num_symbols);
+  quotient.SetInitial(classes[dfa.initial()]);
+  for (int q = 0; q < n; ++q) {
+    if (dfa.IsFinal(q)) quotient.SetFinal(classes[q]);
+    for (int a = 0; a < num_symbols; ++a) {
+      quotient.SetTransition(classes[q], a, classes[dfa.Next(q, a)]);
+    }
+  }
+
+  Dfa trimmed = quotient.Trimmed();
+  if (trimmed.IsEmpty()) return Dfa::EmptyLanguage(num_symbols);
+  return CanonicalizeNumbering(trimmed);
+}
+
+Dfa MinimizeNfa(const Nfa& nfa) { return Minimize(Determinize(nfa)); }
+
+}  // namespace stap

@@ -1,0 +1,21 @@
+// DFA minimization to a canonical form.
+#ifndef STAP_AUTOMATA_MINIMIZE_H_
+#define STAP_AUTOMATA_MINIMIZE_H_
+
+#include "stap/automata/dfa.h"
+#include "stap/automata/nfa.h"
+
+namespace stap {
+
+// Returns the canonical minimal *partial* DFA for L(dfa): Moore partition
+// refinement on the completed automaton, dead states removed, states
+// renumbered in BFS order (symbols ascending). Two DFAs accept the same
+// language iff Minimize() of both compares operator==.
+Dfa Minimize(const Dfa& dfa);
+
+// Determinizes and minimizes.
+Dfa MinimizeNfa(const Nfa& nfa);
+
+}  // namespace stap
+
+#endif  // STAP_AUTOMATA_MINIMIZE_H_

@@ -1,0 +1,186 @@
+#include "stap/automata/nfa.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "stap/base/check.h"
+
+namespace stap {
+
+bool StateSetInsert(StateSet& set, int state) {
+  auto it = std::lower_bound(set.begin(), set.end(), state);
+  if (it != set.end() && *it == state) return false;
+  set.insert(it, state);
+  return true;
+}
+
+bool StateSetContains(const StateSet& set, int state) {
+  return std::binary_search(set.begin(), set.end(), state);
+}
+
+Nfa::Nfa(int num_states, int num_symbols)
+    : num_states_(num_states),
+      num_symbols_(num_symbols),
+      delta_(static_cast<size_t>(num_states) * num_symbols),
+      final_(num_states, false) {
+  STAP_CHECK(num_states >= 0 && num_symbols >= 0);
+}
+
+int Nfa::AddState() {
+  delta_.insert(delta_.end(), num_symbols_, StateSet());
+  final_.push_back(false);
+  return num_states_++;
+}
+
+void Nfa::AddTransition(int from, int symbol, int to) {
+  STAP_CHECK(from >= 0 && from < num_states_);
+  STAP_CHECK(to >= 0 && to < num_states_);
+  STAP_CHECK(symbol >= 0 && symbol < num_symbols_);
+  StateSetInsert(delta_[from * num_symbols_ + symbol], to);
+}
+
+void Nfa::AddInitial(int state) {
+  STAP_CHECK(state >= 0 && state < num_states_);
+  StateSetInsert(initial_, state);
+}
+
+void Nfa::SetFinal(int state, bool is_final) {
+  STAP_CHECK(state >= 0 && state < num_states_);
+  final_[state] = is_final;
+}
+
+StateSet Nfa::FinalStates() const {
+  StateSet result;
+  for (int q = 0; q < num_states_; ++q) {
+    if (final_[q]) result.push_back(q);
+  }
+  return result;
+}
+
+StateSet Nfa::Next(const StateSet& states, int symbol) const {
+  StateSet result;
+  for (int q : states) {
+    const StateSet& succ = Next(q, symbol);
+    StateSet merged;
+    merged.reserve(result.size() + succ.size());
+    std::set_union(result.begin(), result.end(), succ.begin(), succ.end(),
+                   std::back_inserter(merged));
+    result = std::move(merged);
+  }
+  return result;
+}
+
+StateSet Nfa::Run(const Word& word) const {
+  StateSet current = initial_;
+  for (int symbol : word) current = Next(current, symbol);
+  return current;
+}
+
+bool Nfa::Accepts(const Word& word) const {
+  for (int q : Run(word)) {
+    if (final_[q]) return true;
+  }
+  return false;
+}
+
+int64_t Nfa::Size() const {
+  int64_t transitions = 0;
+  for (const StateSet& targets : delta_) {
+    transitions += static_cast<int64_t>(targets.size());
+  }
+  return num_states_ + transitions;
+}
+
+namespace {
+
+// Marks all states reachable from `seeds` following `delta` forward.
+std::vector<bool> ReachableFrom(const StateSet& seeds,
+                                const std::vector<StateSet>& delta,
+                                int num_states, int num_symbols) {
+  std::vector<bool> seen(num_states, false);
+  std::vector<int> stack(seeds.begin(), seeds.end());
+  for (int q : seeds) seen[q] = true;
+  while (!stack.empty()) {
+    int q = stack.back();
+    stack.pop_back();
+    for (int a = 0; a < num_symbols; ++a) {
+      for (int r : delta[q * num_symbols + a]) {
+        if (!seen[r]) {
+          seen[r] = true;
+          stack.push_back(r);
+        }
+      }
+    }
+  }
+  return seen;
+}
+
+}  // namespace
+
+Nfa Nfa::Trimmed() const {
+  std::vector<bool> forward =
+      ReachableFrom(initial_, delta_, num_states_, num_symbols_);
+
+  // Reverse transition relation for co-reachability.
+  std::vector<StateSet> reverse(delta_.size());
+  for (int q = 0; q < num_states_; ++q) {
+    for (int a = 0; a < num_symbols_; ++a) {
+      for (int r : delta_[q * num_symbols_ + a]) {
+        StateSetInsert(reverse[r * num_symbols_ + a], q);
+      }
+    }
+  }
+  std::vector<bool> backward =
+      ReachableFrom(FinalStates(), reverse, num_states_, num_symbols_);
+
+  std::vector<int> remap(num_states_, -1);
+  int next_id = 0;
+  for (int q = 0; q < num_states_; ++q) {
+    if (forward[q] && backward[q]) remap[q] = next_id++;
+  }
+
+  Nfa result(next_id, num_symbols_);
+  for (int q = 0; q < num_states_; ++q) {
+    if (remap[q] < 0) continue;
+    if (IsInitial(q)) result.AddInitial(remap[q]);
+    if (final_[q]) result.SetFinal(remap[q]);
+    for (int a = 0; a < num_symbols_; ++a) {
+      for (int r : delta_[q * num_symbols_ + a]) {
+        if (remap[r] >= 0) result.AddTransition(remap[q], a, remap[r]);
+      }
+    }
+  }
+  return result;
+}
+
+bool Nfa::IsEmpty() const {
+  std::vector<bool> seen =
+      ReachableFrom(initial_, delta_, num_states_, num_symbols_);
+  for (int q = 0; q < num_states_; ++q) {
+    if (seen[q] && final_[q]) return false;
+  }
+  return true;
+}
+
+std::string Nfa::ToString() const {
+  std::ostringstream os;
+  os << "NFA states=" << num_states_ << " symbols=" << num_symbols_
+     << " initial={";
+  for (size_t i = 0; i < initial_.size(); ++i) {
+    if (i > 0) os << ",";
+    os << initial_[i];
+  }
+  os << "}\n";
+  for (int q = 0; q < num_states_; ++q) {
+    os << "  " << q << (final_[q] ? " [final]" : "") << ":";
+    for (int a = 0; a < num_symbols_; ++a) {
+      for (int r : delta_[q * num_symbols_ + a]) {
+        os << " -" << a << "->" << r;
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace stap

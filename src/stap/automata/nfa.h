@@ -1,0 +1,88 @@
+// Non-deterministic finite automata over dense integer alphabets.
+//
+// States and symbols are dense ids. Transition targets are kept as sorted,
+// duplicate-free vectors so that state sets compose cheaply during subset
+// construction. An Nfa has no epsilon transitions; the regex module
+// compiles expressions via the (epsilon-free) Glushkov construction.
+#ifndef STAP_AUTOMATA_NFA_H_
+#define STAP_AUTOMATA_NFA_H_
+
+#include <string>
+#include <vector>
+
+#include "stap/automata/alphabet.h"
+
+namespace stap {
+
+// A word over an integer alphabet.
+using Word = std::vector<int>;
+
+// A sorted, duplicate-free set of state ids.
+using StateSet = std::vector<int>;
+
+// Inserts `state` into the sorted set `set` if absent; returns true if added.
+bool StateSetInsert(StateSet& set, int state);
+
+// True if the sorted set `set` contains `state`.
+bool StateSetContains(const StateSet& set, int state);
+
+class Nfa {
+ public:
+  Nfa(int num_states, int num_symbols);
+
+  int num_states() const { return num_states_; }
+  int num_symbols() const { return num_symbols_; }
+
+  // Adds a state and returns its id.
+  int AddState();
+
+  void AddTransition(int from, int symbol, int to);
+  void AddInitial(int state);
+  void SetFinal(int state, bool is_final = true);
+
+  bool IsInitial(int state) const { return StateSetContains(initial_, state); }
+  bool IsFinal(int state) const { return final_[state]; }
+
+  const StateSet& initial() const { return initial_; }
+
+  // All final states, as a sorted set.
+  StateSet FinalStates() const;
+
+  // Successors of `state` on `symbol` (sorted).
+  const StateSet& Next(int state, int symbol) const {
+    return delta_[state * num_symbols_ + symbol];
+  }
+
+  // Successors of every state in `states` on `symbol` (sorted union).
+  StateSet Next(const StateSet& states, int symbol) const;
+
+  // The set of states reachable from the initial states on `word`.
+  StateSet Run(const Word& word) const;
+
+  // Whether the automaton accepts `word`.
+  bool Accepts(const Word& word) const;
+
+  // Size per the paper: number of states plus total transition count.
+  int64_t Size() const;
+
+  // Restricts to states that are both reachable and co-reachable; renumbers
+  // states. The result accepts the same language.
+  Nfa Trimmed() const;
+
+  // True if some word is accepted.
+  bool IsEmpty() const;
+
+  // Debug listing of states and transitions.
+  std::string ToString() const;
+
+ private:
+  int num_states_;
+  int num_symbols_;
+  std::vector<StateSet> delta_;  // indexed by state * num_symbols + symbol
+  StateSet initial_;
+  std::vector<bool> final_;
+};
+
+}  // namespace stap
+
+#endif  // STAP_AUTOMATA_NFA_H_

@@ -1,0 +1,134 @@
+#include "stap/automata/ops.h"
+
+#include <map>
+#include <utility>
+
+#include "stap/base/check.h"
+
+namespace stap {
+
+Dfa DfaProduct(const Dfa& a_in, const Dfa& b_in, BoolOp op) {
+  STAP_CHECK(a_in.num_symbols() == b_in.num_symbols());
+  const Dfa a = a_in.Completed();
+  const Dfa b = b_in.Completed();
+  const int num_symbols = a.num_symbols();
+
+  auto combine = [op](bool fa, bool fb) {
+    switch (op) {
+      case BoolOp::kAnd:
+        return fa && fb;
+      case BoolOp::kOr:
+        return fa || fb;
+      case BoolOp::kDiff:
+        return fa && !fb;
+    }
+    return false;
+  };
+
+  std::map<std::pair<int, int>, int> ids;
+  std::vector<std::pair<int, int>> worklist;
+  Dfa product(0, num_symbols);
+  auto intern = [&](int qa, int qb) -> int {
+    auto [it, inserted] = ids.emplace(std::make_pair(qa, qb),
+                                      product.num_states());
+    if (inserted) {
+      product.AddState();
+      product.SetFinal(it->second, combine(a.IsFinal(qa), b.IsFinal(qb)));
+      worklist.emplace_back(qa, qb);
+    }
+    return it->second;
+  };
+
+  product.SetInitial(intern(a.initial(), b.initial()));
+  size_t processed = 0;
+  while (processed < worklist.size()) {
+    auto [qa, qb] = worklist[processed];
+    int id = ids.at({qa, qb});
+    ++processed;
+    for (int sym = 0; sym < num_symbols; ++sym) {
+      product.SetTransition(id, sym, intern(a.Next(qa, sym), b.Next(qb, sym)));
+    }
+  }
+  return product.Trimmed();
+}
+
+Dfa DfaIntersection(const Dfa& a, const Dfa& b) {
+  return DfaProduct(a, b, BoolOp::kAnd);
+}
+
+Dfa DfaUnion(const Dfa& a, const Dfa& b) {
+  return DfaProduct(a, b, BoolOp::kOr);
+}
+
+Dfa DfaDifference(const Dfa& a, const Dfa& b) {
+  return DfaProduct(a, b, BoolOp::kDiff);
+}
+
+Dfa DfaComplement(const Dfa& dfa) {
+  Dfa complete = dfa.Completed();
+  Dfa result = complete;
+  for (int q = 0; q < complete.num_states(); ++q) {
+    result.SetFinal(q, !complete.IsFinal(q));
+  }
+  return result;
+}
+
+Nfa NfaUnion(const Nfa& a, const Nfa& b) {
+  STAP_CHECK(a.num_symbols() == b.num_symbols());
+  Nfa result(a.num_states() + b.num_states(), a.num_symbols());
+  for (int q = 0; q < a.num_states(); ++q) {
+    if (a.IsInitial(q)) result.AddInitial(q);
+    if (a.IsFinal(q)) result.SetFinal(q);
+    for (int sym = 0; sym < a.num_symbols(); ++sym) {
+      for (int r : a.Next(q, sym)) result.AddTransition(q, sym, r);
+    }
+  }
+  const int offset = a.num_states();
+  for (int q = 0; q < b.num_states(); ++q) {
+    if (b.IsInitial(q)) result.AddInitial(offset + q);
+    if (b.IsFinal(q)) result.SetFinal(offset + q);
+    for (int sym = 0; sym < b.num_symbols(); ++sym) {
+      for (int r : b.Next(q, sym)) result.AddTransition(offset + q, sym, offset + r);
+    }
+  }
+  return result;
+}
+
+Nfa HomomorphicImage(const Dfa& dfa, const std::vector<int>& symbol_map,
+                     int image_size) {
+  STAP_CHECK(static_cast<int>(symbol_map.size()) == dfa.num_symbols());
+  Nfa nfa(std::max(dfa.num_states(), 1), image_size);
+  if (dfa.num_states() == 0) return nfa;
+  nfa.AddInitial(dfa.initial());
+  for (int q = 0; q < dfa.num_states(); ++q) {
+    if (dfa.IsFinal(q)) nfa.SetFinal(q);
+    for (int sym = 0; sym < dfa.num_symbols(); ++sym) {
+      int r = dfa.Next(q, sym);
+      if (r == kNoState) continue;
+      int image = symbol_map[sym];
+      STAP_CHECK(image >= 0 && image < image_size);
+      nfa.AddTransition(q, image, r);
+    }
+  }
+  return nfa;
+}
+
+Dfa InverseHomomorphism(const Dfa& dfa, const std::vector<int>& symbol_map,
+                        int domain_size) {
+  STAP_CHECK(static_cast<int>(symbol_map.size()) == domain_size);
+  Dfa result(std::max(dfa.num_states(), 1), domain_size);
+  if (dfa.num_states() == 0) return result;
+  result.SetInitial(dfa.initial());
+  for (int q = 0; q < dfa.num_states(); ++q) {
+    if (dfa.IsFinal(q)) result.SetFinal(q);
+    for (int sym = 0; sym < domain_size; ++sym) {
+      int image = symbol_map[sym];
+      if (image == kNoSymbol) continue;
+      STAP_CHECK(image >= 0 && image < dfa.num_symbols());
+      result.SetTransition(q, sym, dfa.Next(q, image));
+    }
+  }
+  return result;
+}
+
+}  // namespace stap

@@ -1,0 +1,29 @@
+// Internal invariant checks. STAP_CHECK aborts the process with a message
+// when the condition fails; it is always on (correctness of the
+// approximation algorithms matters more than the branch cost).
+#ifndef STAP_BASE_CHECK_H_
+#define STAP_BASE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define STAP_CHECK(cond)                                                  \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "STAP_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                      \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (false)
+
+#define STAP_CHECK_OK(expr)                                                \
+  do {                                                                     \
+    const ::stap::Status stap_check_status_ = (expr);                      \
+    if (!stap_check_status_.ok()) {                                        \
+      std::fprintf(stderr, "STAP_CHECK_OK failed at %s:%d: %s\n", __FILE__, \
+                   __LINE__, stap_check_status_.ToString().c_str());       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (false)
+
+#endif  // STAP_BASE_CHECK_H_

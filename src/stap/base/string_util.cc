@@ -1,0 +1,48 @@
+#include "stap/base/string_util.h"
+
+#include <cctype>
+
+namespace stap {
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string result;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) result.append(sep);
+    result.append(parts[i]);
+  }
+  return result;
+}
+
+std::vector<std::string> SplitAndTrim(std::string_view input, char sep) {
+  std::vector<std::string> pieces;
+  size_t start = 0;
+  while (start <= input.size()) {
+    size_t end = input.find(sep, start);
+    if (end == std::string_view::npos) end = input.size();
+    std::string_view piece = StripWhitespace(input.substr(start, end - start));
+    if (!piece.empty()) pieces.emplace_back(piece);
+    start = end + 1;
+  }
+  return pieces;
+}
+
+std::string_view StripWhitespace(std::string_view input) {
+  size_t begin = 0;
+  while (begin < input.size() &&
+         std::isspace(static_cast<unsigned char>(input[begin]))) {
+    ++begin;
+  }
+  size_t end = input.size();
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(input[end - 1]))) {
+    --end;
+  }
+  return input.substr(begin, end - begin);
+}
+
+bool StartsWith(std::string_view input, std::string_view prefix) {
+  return input.size() >= prefix.size() &&
+         input.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace stap

@@ -1,0 +1,25 @@
+// Small string helpers shared by parsers and printers.
+#ifndef STAP_BASE_STRING_UTIL_H_
+#define STAP_BASE_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stap {
+
+// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// Splits `input` on `sep`, dropping empty pieces.
+std::vector<std::string> SplitAndTrim(std::string_view input, char sep);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view input);
+
+// True if `input` starts with `prefix`.
+bool StartsWith(std::string_view input, std::string_view prefix);
+
+}  // namespace stap
+
+#endif  // STAP_BASE_STRING_UTIL_H_

@@ -1,0 +1,64 @@
+// Seeded random schema and document generators for property tests and
+// benchmarks.
+#ifndef STAP_GEN_RANDOM_H_
+#define STAP_GEN_RANDOM_H_
+
+#include <cstdint>
+#include <optional>
+#include <random>
+
+#include "stap/schema/edtd.h"
+#include "stap/schema/single_type.h"
+#include "stap/tree/tree.h"
+
+namespace stap {
+
+struct RandomSchemaParams {
+  int num_symbols = 3;
+  int num_types = 5;
+  // Average number of distinct child types referenced per content model.
+  int content_breadth = 2;
+  // Probability (percent) that a content model admits ε.
+  int epsilon_percent = 60;
+};
+
+// A random *reduced* EDTD (non-empty language); retries internally until
+// reduction leaves at least one type.
+Edtd RandomEdtd(std::mt19937* rng, const RandomSchemaParams& params);
+
+// A random reduced EDTD with an acyclic type graph and finite content
+// models — the language is a finite tree set (depth <= num_types, width
+// <= content_breadth). Unlike RandomNonRecursiveStEdtd this one is NOT
+// constrained to be single-type, which makes it a workload for testing
+// upper approximations against exact finite closures.
+Edtd RandomFiniteEdtd(std::mt19937* rng, const RandomSchemaParams& params);
+
+// A random reduced single-type EDTD (built as a random state-labeled DFA
+// skeleton, so the single-type property holds by construction).
+Edtd RandomStEdtd(std::mt19937* rng, const RandomSchemaParams& params);
+
+// A random reduced single-type EDTD whose type graph is acyclic (a
+// non-recursive schema in the sense of Observation 4.14): the language is
+// depth-bounded by the number of types. When additionally
+// `finite_language` is set, every content model is a finite word set, so
+// L is a finite tree set — the setting of Section 4.4's decision
+// procedures.
+Edtd RandomNonRecursiveStEdtd(std::mt19937* rng,
+                              const RandomSchemaParams& params,
+                              bool finite_language = true);
+
+// Samples a member of L(xsd), biased toward shallow trees; depth is capped
+// by steering every content walk to acceptance once `max_depth` is
+// reached. Returns nullopt only for the empty language.
+std::optional<Tree> SampleTree(const DfaXsd& xsd, std::mt19937* rng,
+                               int max_depth = 6);
+
+// Random accepted word of `dfa`: random walk that switches to the shortest
+// accepting continuation after `soft_length` steps. Returns nullopt for
+// the empty language.
+std::optional<Word> SampleWord(const Dfa& dfa, std::mt19937* rng,
+                               int soft_length = 4);
+
+}  // namespace stap
+
+#endif  // STAP_GEN_RANDOM_H_

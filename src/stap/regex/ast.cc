@@ -1,0 +1,148 @@
+#include "stap/regex/ast.h"
+
+#include <sstream>
+
+#include "stap/base/check.h"
+
+namespace stap {
+
+RegexPtr Regex::EmptySet() {
+  return RegexPtr(new Regex(RegexKind::kEmptySet, kNoSymbol, {}));
+}
+
+RegexPtr Regex::Epsilon() {
+  return RegexPtr(new Regex(RegexKind::kEpsilon, kNoSymbol, {}));
+}
+
+RegexPtr Regex::Symbol(int symbol) {
+  STAP_CHECK(symbol >= 0);
+  return RegexPtr(new Regex(RegexKind::kSymbol, symbol, {}));
+}
+
+RegexPtr Regex::Concat(std::vector<RegexPtr> children) {
+  if (children.empty()) return Epsilon();
+  if (children.size() == 1) return children[0];
+  return RegexPtr(new Regex(RegexKind::kConcat, kNoSymbol, std::move(children)));
+}
+
+RegexPtr Regex::Union(std::vector<RegexPtr> children) {
+  if (children.empty()) return EmptySet();
+  if (children.size() == 1) return children[0];
+  return RegexPtr(new Regex(RegexKind::kUnion, kNoSymbol, std::move(children)));
+}
+
+RegexPtr Regex::Star(RegexPtr child) {
+  return RegexPtr(new Regex(RegexKind::kStar, kNoSymbol, {std::move(child)}));
+}
+
+RegexPtr Regex::Plus(RegexPtr child) {
+  return RegexPtr(new Regex(RegexKind::kPlus, kNoSymbol, {std::move(child)}));
+}
+
+RegexPtr Regex::Optional(RegexPtr child) {
+  return RegexPtr(
+      new Regex(RegexKind::kOptional, kNoSymbol, {std::move(child)}));
+}
+
+RegexPtr Regex::Literal(const Word& word) {
+  std::vector<RegexPtr> parts;
+  parts.reserve(word.size());
+  for (int symbol : word) parts.push_back(Symbol(symbol));
+  return Concat(std::move(parts));
+}
+
+bool Regex::IsNullable() const {
+  switch (kind_) {
+    case RegexKind::kEmptySet:
+      return false;
+    case RegexKind::kEpsilon:
+      return true;
+    case RegexKind::kSymbol:
+      return false;
+    case RegexKind::kConcat: {
+      for (const RegexPtr& child : children_) {
+        if (!child->IsNullable()) return false;
+      }
+      return true;
+    }
+    case RegexKind::kUnion: {
+      for (const RegexPtr& child : children_) {
+        if (child->IsNullable()) return true;
+      }
+      return false;
+    }
+    case RegexKind::kStar:
+    case RegexKind::kOptional:
+      return true;
+    case RegexKind::kPlus:
+      return children_[0]->IsNullable();
+  }
+  return false;
+}
+
+int Regex::NumNodes() const {
+  int count = 1;
+  for (const RegexPtr& child : children_) count += child->NumNodes();
+  return count;
+}
+
+namespace {
+
+// Precedence levels for printing: union < concat < postfix.
+enum Level { kUnionLevel = 0, kConcatLevel = 1, kPostfixLevel = 2 };
+
+void Print(const Regex& regex, const Alphabet& alphabet, int parent_level,
+           std::ostringstream& os) {
+  auto parenthesize_if = [&](int my_level, auto body) {
+    bool need = my_level < parent_level;
+    if (need) os << "(";
+    body();
+    if (need) os << ")";
+  };
+  switch (regex.kind()) {
+    case RegexKind::kEmptySet:
+      os << "~";
+      break;
+    case RegexKind::kEpsilon:
+      os << "%";
+      break;
+    case RegexKind::kSymbol:
+      os << alphabet.Name(regex.symbol());
+      break;
+    case RegexKind::kUnion:
+      parenthesize_if(kUnionLevel, [&] {
+        for (size_t i = 0; i < regex.children().size(); ++i) {
+          if (i > 0) os << " | ";
+          Print(*regex.children()[i], alphabet, kUnionLevel + 1, os);
+        }
+      });
+      break;
+    case RegexKind::kConcat:
+      parenthesize_if(kConcatLevel, [&] {
+        for (size_t i = 0; i < regex.children().size(); ++i) {
+          if (i > 0) os << " ";
+          Print(*regex.children()[i], alphabet, kConcatLevel + 1, os);
+        }
+      });
+      break;
+    case RegexKind::kStar:
+    case RegexKind::kPlus:
+    case RegexKind::kOptional: {
+      Print(*regex.children()[0], alphabet, kPostfixLevel, os);
+      os << (regex.kind() == RegexKind::kStar
+                 ? "*"
+                 : regex.kind() == RegexKind::kPlus ? "+" : "?");
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string Regex::ToString(const Alphabet& alphabet) const {
+  std::ostringstream os;
+  Print(*this, alphabet, kUnionLevel, os);
+  return os.str();
+}
+
+}  // namespace stap

@@ -1,0 +1,77 @@
+// Regular expression ASTs over integer alphabets.
+//
+// Grammar (paper, Section 2.1):  r ::= ∅ | ε | a | r·r | r+r | r* | r+ | r?
+// Nodes are immutable and shared; RegexPtr values are cheap to copy and
+// sub-expressions may be reused freely.
+#ifndef STAP_REGEX_AST_H_
+#define STAP_REGEX_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stap/automata/alphabet.h"
+#include "stap/automata/nfa.h"
+
+namespace stap {
+
+enum class RegexKind {
+  kEmptySet,  // ∅
+  kEpsilon,   // ε
+  kSymbol,    // a
+  kConcat,    // r1 · r2 · ... · rk
+  kUnion,     // r1 + r2 + ... + rk
+  kStar,      // r*
+  kPlus,      // r+
+  kOptional,  // r?
+};
+
+class Regex;
+using RegexPtr = std::shared_ptr<const Regex>;
+
+class Regex {
+ public:
+  static RegexPtr EmptySet();
+  static RegexPtr Epsilon();
+  static RegexPtr Symbol(int symbol);
+  // Concat/Union of zero children normalize to Epsilon/EmptySet; a single
+  // child is returned unwrapped.
+  static RegexPtr Concat(std::vector<RegexPtr> children);
+  static RegexPtr Union(std::vector<RegexPtr> children);
+  static RegexPtr Star(RegexPtr child);
+  static RegexPtr Plus(RegexPtr child);
+  static RegexPtr Optional(RegexPtr child);
+
+  // Convenience: the expression a1·a2·...·ak for a word.
+  static RegexPtr Literal(const Word& word);
+
+  RegexKind kind() const { return kind_; }
+
+  // Require: kind() == kSymbol.
+  int symbol() const { return symbol_; }
+
+  // Children of kConcat/kUnion (>= 2) or kStar/kPlus/kOptional (exactly 1).
+  const std::vector<RegexPtr>& children() const { return children_; }
+
+  // True if ε is in the denoted language.
+  bool IsNullable() const;
+
+  // Number of AST nodes.
+  int NumNodes() const;
+
+  // Renders with `|` for union, juxtaposition for concatenation, postfix
+  // * + ?, `%` for ε and `~` for ∅, resolving symbol ids via `alphabet`.
+  std::string ToString(const Alphabet& alphabet) const;
+
+ private:
+  Regex(RegexKind kind, int symbol, std::vector<RegexPtr> children)
+      : kind_(kind), symbol_(symbol), children_(std::move(children)) {}
+
+  RegexKind kind_;
+  int symbol_;
+  std::vector<RegexPtr> children_;
+};
+
+}  // namespace stap
+
+#endif  // STAP_REGEX_AST_H_

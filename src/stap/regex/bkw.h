@@ -1,0 +1,27 @@
+// Deciding whether a regular *language* is one-unambiguous, i.e.
+// definable by a deterministic regular expression (Brüggemann-Klein &
+// Wood, "One-Unambiguous Regular Languages", Inf. & Comp. 142, 1998).
+//
+// Section 5 of the paper leans on this notion: XML Schema restricts
+// content models to deterministic expressions, and [4] shows a best
+// deterministic approximation need not exist. IsOneUnambiguous (in
+// glushkov.h) tests a given *expression*; this module tests a given
+// *language* via the BKW orbit criterion on its minimal DFA:
+//
+//   L(M) is one-unambiguous iff the S-cut of the minimal DFA M (S = the
+//   M-consistent symbols) has the orbit property and all its orbit
+//   languages are one-unambiguous.
+#ifndef STAP_REGEX_BKW_H_
+#define STAP_REGEX_BKW_H_
+
+#include "stap/automata/dfa.h"
+
+namespace stap {
+
+// True if L(dfa) is definable by some deterministic (one-unambiguous)
+// regular expression.
+bool IsOneUnambiguousLanguage(const Dfa& dfa);
+
+}  // namespace stap
+
+#endif  // STAP_REGEX_BKW_H_

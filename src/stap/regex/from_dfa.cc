@@ -1,0 +1,85 @@
+#include "stap/regex/from_dfa.h"
+
+#include <vector>
+
+namespace stap {
+
+namespace {
+
+// Arc labels during state elimination; nullptr denotes the empty set.
+using Arc = RegexPtr;
+
+Arc UnionArcs(const Arc& a, const Arc& b) {
+  if (a == nullptr) return b;
+  if (b == nullptr) return a;
+  // Fold ε into r? / r* where it keeps the output tidy.
+  if (a->kind() == RegexKind::kEpsilon) {
+    if (b->kind() == RegexKind::kEpsilon) return a;
+    if (b->kind() == RegexKind::kStar || b->kind() == RegexKind::kOptional) {
+      return b;
+    }
+    if (b->kind() == RegexKind::kPlus) return Regex::Star(b->children()[0]);
+    return Regex::Optional(b);
+  }
+  if (b->kind() == RegexKind::kEpsilon) return UnionArcs(b, a);
+  return Regex::Union({a, b});
+}
+
+Arc ConcatArcs(const Arc& a, const Arc& b) {
+  if (a == nullptr || b == nullptr) return nullptr;
+  if (a->kind() == RegexKind::kEpsilon) return b;
+  if (b->kind() == RegexKind::kEpsilon) return a;
+  return Regex::Concat({a, b});
+}
+
+Arc StarArc(const Arc& a) {
+  if (a == nullptr || a->kind() == RegexKind::kEpsilon) {
+    return Regex::Epsilon();
+  }
+  if (a->kind() == RegexKind::kStar) return a;
+  return Regex::Star(a);
+}
+
+}  // namespace
+
+RegexPtr DfaToRegex(const Dfa& input) {
+  Dfa dfa = input.Trimmed();
+  const int n = dfa.num_states();
+  if (dfa.IsEmpty()) return Regex::EmptySet();
+
+  // Nodes 0..n-1 are DFA states, node n is a fresh source, node n+1 a
+  // fresh sink; arcs[i][j] is the expression for paths i -> j.
+  const int source = n;
+  const int sink = n + 1;
+  std::vector<std::vector<Arc>> arcs(n + 2, std::vector<Arc>(n + 2, nullptr));
+  for (int q = 0; q < n; ++q) {
+    for (int a = 0; a < dfa.num_symbols(); ++a) {
+      int r = dfa.Next(q, a);
+      if (r != kNoState) {
+        arcs[q][r] = UnionArcs(arcs[q][r], Regex::Symbol(a));
+      }
+    }
+    if (dfa.IsFinal(q)) arcs[q][sink] = Regex::Epsilon();
+  }
+  arcs[source][dfa.initial()] = Regex::Epsilon();
+
+  // Eliminate the DFA states one by one.
+  std::vector<bool> alive(n + 2, true);
+  for (int k = 0; k < n; ++k) {
+    alive[k] = false;
+    Arc loop = StarArc(arcs[k][k]);
+    for (int i = 0; i < n + 2; ++i) {
+      if (!alive[i] || arcs[i][k] == nullptr) continue;
+      for (int j = 0; j < n + 2; ++j) {
+        if (!alive[j] || arcs[k][j] == nullptr) continue;
+        Arc through = ConcatArcs(ConcatArcs(arcs[i][k], loop), arcs[k][j]);
+        arcs[i][j] = UnionArcs(arcs[i][j], through);
+      }
+    }
+  }
+
+  Arc result = arcs[source][sink];
+  return result == nullptr ? Regex::EmptySet() : result;
+}
+
+}  // namespace stap

@@ -1,0 +1,20 @@
+// DFA -> regular expression via state elimination.
+//
+// Used to render schema content models back into the textual format. The
+// produced expression is equivalent to the automaton but not guaranteed to
+// be deterministic (one-unambiguous); Section 5 of the paper discusses why
+// a best deterministic expression need not even exist.
+#ifndef STAP_REGEX_FROM_DFA_H_
+#define STAP_REGEX_FROM_DFA_H_
+
+#include "stap/automata/dfa.h"
+#include "stap/regex/ast.h"
+
+namespace stap {
+
+// Returns a regular expression for L(dfa).
+RegexPtr DfaToRegex(const Dfa& dfa);
+
+}  // namespace stap
+
+#endif  // STAP_REGEX_FROM_DFA_H_

@@ -1,0 +1,143 @@
+#include "stap/regex/glushkov.h"
+
+#include <vector>
+
+#include "stap/automata/determinize.h"
+#include "stap/automata/minimize.h"
+#include "stap/base/check.h"
+
+namespace stap {
+
+namespace {
+
+// Position bookkeeping for the Glushkov construction. Positions are
+// numbered from 1; position 0 is the fresh initial state.
+struct PositionSets {
+  bool nullable = false;
+  std::vector<int> first;
+  std::vector<int> last;
+};
+
+struct Builder {
+  std::vector<int> position_symbol;          // 1-based; [0] unused
+  std::vector<std::vector<int>> follow;      // 1-based; follow[p]
+
+  int NewPosition(int symbol) {
+    position_symbol.push_back(symbol);
+    follow.emplace_back();
+    return static_cast<int>(position_symbol.size()) - 1;
+  }
+
+  void AddFollow(const std::vector<int>& from, const std::vector<int>& to) {
+    for (int p : from) {
+      for (int q : to) follow[p].push_back(q);
+    }
+  }
+
+  PositionSets Visit(const Regex& regex) {
+    PositionSets result;
+    switch (regex.kind()) {
+      case RegexKind::kEmptySet:
+        break;
+      case RegexKind::kEpsilon:
+        result.nullable = true;
+        break;
+      case RegexKind::kSymbol: {
+        int p = NewPosition(regex.symbol());
+        result.first = {p};
+        result.last = {p};
+        break;
+      }
+      case RegexKind::kConcat: {
+        result.nullable = true;
+        bool first_open = true;  // all children so far nullable
+        std::vector<int> pending_last;
+        for (const RegexPtr& child : regex.children()) {
+          PositionSets sets = Visit(*child);
+          AddFollow(pending_last, sets.first);
+          if (first_open) {
+            result.first.insert(result.first.end(), sets.first.begin(),
+                                sets.first.end());
+          }
+          if (!sets.nullable) {
+            first_open = false;
+            result.nullable = false;
+            pending_last = std::move(sets.last);
+          } else {
+            pending_last.insert(pending_last.end(), sets.last.begin(),
+                                sets.last.end());
+          }
+        }
+        result.last = std::move(pending_last);
+        break;
+      }
+      case RegexKind::kUnion: {
+        for (const RegexPtr& child : regex.children()) {
+          PositionSets sets = Visit(*child);
+          result.nullable = result.nullable || sets.nullable;
+          result.first.insert(result.first.end(), sets.first.begin(),
+                              sets.first.end());
+          result.last.insert(result.last.end(), sets.last.begin(),
+                             sets.last.end());
+        }
+        break;
+      }
+      case RegexKind::kStar:
+      case RegexKind::kPlus:
+      case RegexKind::kOptional: {
+        PositionSets sets = Visit(*regex.children()[0]);
+        if (regex.kind() != RegexKind::kOptional) {
+          AddFollow(sets.last, sets.first);
+        }
+        result.nullable =
+            regex.kind() == RegexKind::kPlus ? sets.nullable : true;
+        result.first = std::move(sets.first);
+        result.last = std::move(sets.last);
+        break;
+      }
+    }
+    return result;
+  }
+};
+
+}  // namespace
+
+Nfa GlushkovAutomaton(const Regex& regex, int num_symbols) {
+  Builder builder;
+  builder.position_symbol.push_back(kNoSymbol);  // slot for state 0
+  builder.follow.emplace_back();
+  PositionSets sets = builder.Visit(regex);
+
+  const int num_positions =
+      static_cast<int>(builder.position_symbol.size()) - 1;
+  Nfa nfa(num_positions + 1, num_symbols);
+  nfa.AddInitial(0);
+  if (sets.nullable) nfa.SetFinal(0);
+  for (int p : sets.last) nfa.SetFinal(p);
+  for (int p : sets.first) {
+    STAP_CHECK(builder.position_symbol[p] < num_symbols);
+    nfa.AddTransition(0, builder.position_symbol[p], p);
+  }
+  for (int p = 1; p <= num_positions; ++p) {
+    for (int q : builder.follow[p]) {
+      nfa.AddTransition(p, builder.position_symbol[q], q);
+    }
+  }
+  return nfa;
+}
+
+bool IsOneUnambiguous(const Regex& regex, int num_symbols) {
+  Nfa glushkov = GlushkovAutomaton(regex, num_symbols);
+  for (int q = 0; q < glushkov.num_states(); ++q) {
+    for (int a = 0; a < num_symbols; ++a) {
+      if (glushkov.Next(q, a).size() > 1) return false;
+    }
+  }
+  return true;
+}
+
+Dfa RegexToDfa(const Regex& regex, int num_symbols) {
+  return Minimize(Determinize(GlushkovAutomaton(regex, num_symbols)));
+}
+
+}  // namespace stap

@@ -1,0 +1,31 @@
+// Glushkov (position) automaton construction.
+//
+// The Glushkov automaton of an expression with m symbol occurrences has
+// m + 1 states, is ε-free, and is *state-labeled*: every transition into a
+// position state carries that position's symbol (the property the paper
+// relies on in Section 2.1). An expression is one-unambiguous
+// ("deterministic" in XML Schema terms, enforcing UPA) exactly when its
+// Glushkov automaton is deterministic.
+#ifndef STAP_REGEX_GLUSHKOV_H_
+#define STAP_REGEX_GLUSHKOV_H_
+
+#include "stap/automata/dfa.h"
+#include "stap/automata/nfa.h"
+#include "stap/regex/ast.h"
+
+namespace stap {
+
+// Builds the Glushkov automaton; `num_symbols` is the alphabet size the
+// automaton should range over (symbols in the regex must be < num_symbols).
+Nfa GlushkovAutomaton(const Regex& regex, int num_symbols);
+
+// True if the Glushkov automaton of `regex` is deterministic, i.e. the
+// expression is one-unambiguous / satisfies UPA.
+bool IsOneUnambiguous(const Regex& regex, int num_symbols);
+
+// Compiles to the canonical minimal DFA.
+Dfa RegexToDfa(const Regex& regex, int num_symbols);
+
+}  // namespace stap
+
+#endif  // STAP_REGEX_GLUSHKOV_H_

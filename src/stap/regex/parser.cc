@@ -1,0 +1,166 @@
+#include "stap/regex/parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+namespace stap {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  // '@' and '$' appear in machine-generated type names ("label@state",
+  // "element$ComplexType").
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.' ||
+         c == '-' || c == '@' || c == '$';
+}
+
+class Parser {
+ public:
+  Parser(std::string_view input, Alphabet* alphabet, bool intern_new_symbols)
+      : input_(input),
+        alphabet_(alphabet),
+        intern_new_symbols_(intern_new_symbols) {}
+
+  StatusOr<RegexPtr> Parse() {
+    StatusOr<RegexPtr> expr = ParseExpr();
+    if (!expr.ok()) return expr;
+    SkipSpace();
+    if (pos_ != input_.size()) {
+      return InvalidArgumentError("trailing characters in regex at offset " +
+                                  std::to_string(pos_) + ": '" +
+                                  std::string(input_.substr(pos_)) + "'");
+    }
+    return expr;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtAtomStart() {
+    SkipSpace();
+    if (pos_ >= input_.size()) return false;
+    char c = input_[pos_];
+    return IsIdentStart(c) || c == '%' || c == '~' || c == '(';
+  }
+
+  StatusOr<RegexPtr> ParseExpr() {
+    std::vector<RegexPtr> terms;
+    StatusOr<RegexPtr> first = ParseTerm();
+    if (!first.ok()) return first;
+    terms.push_back(*first);
+    while (true) {
+      SkipSpace();
+      if (pos_ < input_.size() && input_[pos_] == '|') {
+        ++pos_;
+        StatusOr<RegexPtr> term = ParseTerm();
+        if (!term.ok()) return term;
+        terms.push_back(*term);
+      } else {
+        break;
+      }
+    }
+    return Regex::Union(std::move(terms));
+  }
+
+  StatusOr<RegexPtr> ParseTerm() {
+    std::vector<RegexPtr> factors;
+    if (!AtAtomStart()) {
+      return InvalidArgumentError("expected regex atom at offset " +
+                                  std::to_string(pos_));
+    }
+    while (AtAtomStart()) {
+      StatusOr<RegexPtr> factor = ParseFactor();
+      if (!factor.ok()) return factor;
+      factors.push_back(*factor);
+    }
+    return Regex::Concat(std::move(factors));
+  }
+
+  StatusOr<RegexPtr> ParseFactor() {
+    StatusOr<RegexPtr> atom = ParseAtom();
+    if (!atom.ok()) return atom;
+    RegexPtr result = *atom;
+    while (pos_ < input_.size()) {
+      char c = input_[pos_];
+      if (c == '*') {
+        result = Regex::Star(std::move(result));
+        ++pos_;
+      } else if (c == '+') {
+        result = Regex::Plus(std::move(result));
+        ++pos_;
+      } else if (c == '?') {
+        result = Regex::Optional(std::move(result));
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    return result;
+  }
+
+  StatusOr<RegexPtr> ParseAtom() {
+    SkipSpace();
+    if (pos_ >= input_.size()) {
+      return InvalidArgumentError("unexpected end of regex");
+    }
+    char c = input_[pos_];
+    if (c == '%') {
+      ++pos_;
+      return Regex::Epsilon();
+    }
+    if (c == '~') {
+      ++pos_;
+      return Regex::EmptySet();
+    }
+    if (c == '(') {
+      ++pos_;
+      StatusOr<RegexPtr> expr = ParseExpr();
+      if (!expr.ok()) return expr;
+      SkipSpace();
+      if (pos_ >= input_.size() || input_[pos_] != ')') {
+        return InvalidArgumentError("missing ')' at offset " +
+                                    std::to_string(pos_));
+      }
+      ++pos_;
+      return expr;
+    }
+    if (IsIdentStart(c)) {
+      size_t start = pos_;
+      while (pos_ < input_.size() && IsIdentChar(input_[pos_])) ++pos_;
+      std::string_view name = input_.substr(start, pos_ - start);
+      int symbol = intern_new_symbols_ ? alphabet_->Intern(name)
+                                       : alphabet_->Find(name);
+      if (symbol == kNoSymbol) {
+        return InvalidArgumentError("unknown symbol '" + std::string(name) +
+                                    "' in regex");
+      }
+      return Regex::Symbol(symbol);
+    }
+    return InvalidArgumentError(std::string("unexpected character '") + c +
+                                "' in regex at offset " + std::to_string(pos_));
+  }
+
+  std::string_view input_;
+  Alphabet* alphabet_;
+  bool intern_new_symbols_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<RegexPtr> ParseRegex(std::string_view input, Alphabet* alphabet,
+                              bool intern_new_symbols) {
+  return Parser(input, alphabet, intern_new_symbols).Parse();
+}
+
+}  // namespace stap

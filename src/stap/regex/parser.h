@@ -1,0 +1,29 @@
+// Parser for the textual regular-expression syntax.
+//
+// Syntax:
+//   expr    := term ('|' term)*
+//   term    := factor+                      (juxtaposition = concatenation)
+//   factor  := atom ('*' | '+' | '?')*
+//   atom    := IDENT | '%' | '~' | '(' expr ')'
+// where IDENT is [A-Za-z_][A-Za-z0-9_.-]* resolved against an Alphabet,
+// '%' is ε and '~' is ∅. Whitespace separates tokens and is otherwise
+// ignored.
+#ifndef STAP_REGEX_PARSER_H_
+#define STAP_REGEX_PARSER_H_
+
+#include <string_view>
+
+#include "stap/automata/alphabet.h"
+#include "stap/base/status.h"
+#include "stap/regex/ast.h"
+
+namespace stap {
+
+// Parses `input`; unknown symbol names are interned into `alphabet` when
+// `intern_new_symbols`, and are an error otherwise.
+StatusOr<RegexPtr> ParseRegex(std::string_view input, Alphabet* alphabet,
+                              bool intern_new_symbols = true);
+
+}  // namespace stap
+
+#endif  // STAP_REGEX_PARSER_H_

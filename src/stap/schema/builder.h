@@ -1,0 +1,47 @@
+// Programmatic EDTD construction.
+//
+// A thin builder over the textual format's semantics: declare types with
+// labels, give each a content regex over type names, pick start types,
+// and Build() compiles everything into a checked EDTD.
+//
+//   SchemaBuilder b;
+//   b.AddType("Book", "book", "Title Chapter+");
+//   b.AddType("Title", "title", "%");
+//   b.AddType("Chapter", "chapter", "%");
+//   b.AddStart("Book");
+//   Edtd schema = b.Build();
+#ifndef STAP_SCHEMA_BUILDER_H_
+#define STAP_SCHEMA_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "stap/schema/edtd.h"
+
+namespace stap {
+
+class SchemaBuilder {
+ public:
+  // Declares a type; `content_regex` (syntax of regex/parser.h, over type
+  // names) may reference types declared later. Returns the type id.
+  int AddType(const std::string& type_name, const std::string& label,
+              const std::string& content_regex);
+
+  void AddStart(const std::string& type_name);
+
+  // Compiles content regexes and returns the schema. Dies (check failure)
+  // on malformed regexes or unknown names — builders are for tests,
+  // examples, and generators where inputs are program constants.
+  Edtd Build() const;
+
+ private:
+  Alphabet sigma_;
+  Alphabet types_;
+  std::vector<int> mu_;
+  std::vector<std::string> content_sources_;
+  std::vector<std::string> start_names_;
+};
+
+}  // namespace stap
+
+#endif  // STAP_SCHEMA_BUILDER_H_

@@ -1,0 +1,23 @@
+// Counting accepted documents.
+//
+// Upper approximations buy closure at the price of extra documents; this
+// module quantifies the price: the number of documents a schema accepts
+// within depth/width bounds, computed by dynamic programming over the
+// XSD states and content DFAs (no enumeration). Examples and experiments
+// use the ratio count(approx)/count(exact) as an "approximation
+// overhead" metric.
+#ifndef STAP_SCHEMA_COUNT_H_
+#define STAP_SCHEMA_COUNT_H_
+
+#include "stap/schema/single_type.h"
+
+namespace stap {
+
+// Number of distinct documents in L(xsd) with depth <= max_depth and at
+// most max_width children per node. Returned as double (counts grow
+// doubly exponentially); +inf on overflow.
+double CountDocuments(const DfaXsd& xsd, int max_depth, int max_width);
+
+}  // namespace stap
+
+#endif  // STAP_SCHEMA_COUNT_H_

@@ -1,0 +1,58 @@
+#include "stap/schema/dtd.h"
+
+#include <sstream>
+
+#include "stap/base/check.h"
+
+namespace stap {
+
+namespace {
+
+bool AcceptsSubtree(const Dtd& dtd, const Tree& node) {
+  Word child_string;
+  child_string.reserve(node.children.size());
+  for (const Tree& child : node.children) child_string.push_back(child.label);
+  if (!dtd.content[node.label].Accepts(child_string)) return false;
+  for (const Tree& child : node.children) {
+    if (!AcceptsSubtree(dtd, child)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Dtd Dtd::LeafOnly(const Alphabet& sigma) {
+  Dtd dtd;
+  dtd.sigma = sigma;
+  dtd.content.assign(sigma.size(), Dfa::EpsilonOnly(sigma.size()));
+  return dtd;
+}
+
+int64_t Dtd::Size() const {
+  int64_t total = sigma.size() + static_cast<int64_t>(start_symbols.size());
+  for (const Dfa& dfa : content) total += dfa.Size();
+  return total;
+}
+
+bool Dtd::Accepts(const Tree& tree) const {
+  if (tree.label < 0 || tree.label >= num_symbols()) return false;
+  if (!StateSetContains(start_symbols, tree.label)) return false;
+  return AcceptsSubtree(*this, tree);
+}
+
+std::string Dtd::ToString() const {
+  std::ostringstream os;
+  os << "DTD start={";
+  for (size_t i = 0; i < start_symbols.size(); ++i) {
+    if (i > 0) os << ",";
+    os << sigma.Name(start_symbols[i]);
+  }
+  os << "}\n";
+  for (int a = 0; a < num_symbols(); ++a) {
+    os << sigma.Name(a) << " -> DFA(" << content[a].num_states()
+       << " states)\n";
+  }
+  return os.str();
+}
+
+}  // namespace stap

@@ -1,0 +1,40 @@
+// Document Type Definitions (paper, Definition 2.1).
+//
+// A DTD maps each alphabet symbol to a regular language of child strings
+// (stored as a DFA over Σ) plus a set of allowed root symbols.
+#ifndef STAP_SCHEMA_DTD_H_
+#define STAP_SCHEMA_DTD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stap/automata/alphabet.h"
+#include "stap/automata/dfa.h"
+#include "stap/tree/tree.h"
+
+namespace stap {
+
+struct Dtd {
+  Alphabet sigma;
+  std::vector<int> start_symbols;  // sorted set S_d ⊆ Σ
+  std::vector<Dfa> content;        // content[a] over Σ, one per symbol
+
+  // A DTD where every symbol's content language is empty-word-only and no
+  // start symbols are set; callers then fill in rules.
+  static Dtd LeafOnly(const Alphabet& sigma);
+
+  int num_symbols() const { return sigma.size(); }
+
+  // |Σ| + |S_d| + Σ_a |A_a| (paper's size measure).
+  int64_t Size() const;
+
+  // Whether `tree` satisfies this DTD.
+  bool Accepts(const Tree& tree) const;
+
+  std::string ToString() const;
+};
+
+}  // namespace stap
+
+#endif  // STAP_SCHEMA_DTD_H_

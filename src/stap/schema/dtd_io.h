@@ -1,0 +1,38 @@
+// DTD (Document Type Definition) import and export.
+//
+// The paper's taxonomy ([21]): DTDs are the *local* tree languages —
+// content depends on the element name only. This module reads and writes
+// the classical DTD element-declaration syntax so local schemas can enter
+// the approximation pipeline:
+//
+//   <!ELEMENT library (book)*>
+//   <!ELEMENT book (title, chapter+)>
+//   <!ELEMENT title EMPTY>
+//   <!ELEMENT chapter (section | EMPTY)>   -- written (section)? here
+//
+// Supported content: EMPTY, ANY, and parenthesized particles with
+// `,` (sequence), `|` (choice), and `* + ?` suffixes. #PCDATA, mixed
+// content, attributes (<!ATTLIST>), and entities are outside the tree
+// model and rejected.
+#ifndef STAP_SCHEMA_DTD_IO_H_
+#define STAP_SCHEMA_DTD_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "stap/base/status.h"
+#include "stap/schema/dtd.h"
+
+namespace stap {
+
+// Parses element declarations; the first declared element becomes the
+// start symbol (pass `root` to override).
+StatusOr<Dtd> ParseDtd(std::string_view input, std::string_view root = "");
+
+// Renders the DTD as element declarations (content models are converted
+// to expressions by state elimination).
+std::string DtdToString(const Dtd& dtd);
+
+}  // namespace stap
+
+#endif  // STAP_SCHEMA_DTD_IO_H_

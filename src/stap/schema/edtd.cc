@@ -1,0 +1,117 @@
+#include "stap/schema/edtd.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "stap/base/check.h"
+
+namespace stap {
+
+Edtd Edtd::FromDtd(const Dtd& dtd) {
+  Edtd edtd;
+  edtd.sigma = dtd.sigma;
+  edtd.types = dtd.sigma;  // one type per symbol, same names
+  edtd.mu.resize(dtd.num_symbols());
+  for (int a = 0; a < dtd.num_symbols(); ++a) edtd.mu[a] = a;
+  edtd.start_types = dtd.start_symbols;
+  edtd.content = dtd.content;  // type ids coincide with symbol ids
+  return edtd;
+}
+
+int64_t Edtd::Size() const {
+  int64_t total = sigma.size() + num_types() +
+                  static_cast<int64_t>(start_types.size());
+  for (const Dfa& dfa : content) total += dfa.Size();
+  return total;
+}
+
+std::vector<int> Edtd::PossibleTypes(const Tree& subtree) const {
+  // Bottom-up: types for each child first.
+  std::vector<std::vector<int>> child_types;
+  child_types.reserve(subtree.children.size());
+  for (const Tree& child : subtree.children) {
+    child_types.push_back(PossibleTypes(child));
+    if (child_types.back().empty()) return {};
+  }
+
+  std::vector<int> result;
+  for (int tau = 0; tau < num_types(); ++tau) {
+    if (mu[tau] != subtree.label) continue;
+    // Does content[tau] accept some word w with w_i in child_types[i]?
+    const Dfa& dfa = content[tau];
+    if (dfa.num_states() == 0) continue;
+    StateSet states = {dfa.initial()};
+    for (const std::vector<int>& options : child_types) {
+      StateSet next;
+      for (int q : states) {
+        for (int candidate : options) {
+          int r = dfa.Next(q, candidate);
+          if (r != kNoState) StateSetInsert(next, r);
+        }
+      }
+      states = std::move(next);
+      if (states.empty()) break;
+    }
+    for (int q : states) {
+      if (dfa.IsFinal(q)) {
+        result.push_back(tau);
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+bool Edtd::Accepts(const Tree& tree) const {
+  if (tree.label < 0 || tree.label >= num_symbols()) return false;
+  std::vector<int> root_types = PossibleTypes(tree);
+  for (int tau : root_types) {
+    if (StateSetContains(start_types, tau)) return true;
+  }
+  return false;
+}
+
+std::vector<int> Edtd::OccurringTypes(int tau) const {
+  STAP_CHECK(tau >= 0 && tau < num_types());
+  Dfa trimmed = content[tau].Trimmed();
+  std::vector<bool> occurs(num_types(), false);
+  for (int q = 0; q < trimmed.num_states(); ++q) {
+    for (int t = 0; t < num_types(); ++t) {
+      if (trimmed.Next(q, t) != kNoState) occurs[t] = true;
+    }
+  }
+  std::vector<int> result;
+  for (int t = 0; t < num_types(); ++t) {
+    if (occurs[t]) result.push_back(t);
+  }
+  return result;
+}
+
+void Edtd::CheckWellFormed() const {
+  STAP_CHECK(static_cast<int>(mu.size()) == types.size());
+  STAP_CHECK(static_cast<int>(content.size()) == num_types());
+  for (int tau = 0; tau < num_types(); ++tau) {
+    STAP_CHECK(mu[tau] >= 0 && mu[tau] < num_symbols());
+    STAP_CHECK(content[tau].num_symbols() == num_types());
+  }
+  for (int tau : start_types) {
+    STAP_CHECK(tau >= 0 && tau < num_types());
+  }
+}
+
+std::string Edtd::ToString() const {
+  std::ostringstream os;
+  os << "EDTD start={";
+  for (size_t i = 0; i < start_types.size(); ++i) {
+    if (i > 0) os << ",";
+    os << types.Name(start_types[i]);
+  }
+  os << "}\n";
+  for (int tau = 0; tau < num_types(); ++tau) {
+    os << "  " << types.Name(tau) << " [" << sigma.Name(mu[tau])
+       << "] -> DFA(" << content[tau].num_states() << " states)\n";
+  }
+  return os.str();
+}
+
+}  // namespace stap

@@ -1,0 +1,28 @@
+// Minimization of single-type schemas (paper's reference [20]).
+//
+// The minimal DFA-based XSD for a single-type language is unique: it is
+// the quotient of the (reduced) type automaton under the coarsest
+// equivalence that respects state labels, content languages, and
+// successors. MinimizeXsd computes it in polynomial time; the paper uses
+// this to deliver "optimal representations of optimal approximations".
+#ifndef STAP_SCHEMA_MINIMIZE_H_
+#define STAP_SCHEMA_MINIMIZE_H_
+
+#include "stap/schema/single_type.h"
+
+namespace stap {
+
+// Returns the canonical minimal DfaXsd for L(xsd): reduced, merged,
+// content DFAs minimized, states in BFS order. Structural equality of two
+// minimized XSDs (XsdStructurallyEqual) decides language equivalence.
+DfaXsd MinimizeXsd(const DfaXsd& xsd);
+
+// Convenience: minimize a single-type EDTD (checked) through DfaXsd form.
+Edtd MinimizeStEdtd(const Edtd& edtd);
+
+// Field-by-field comparison (alphabets must match by name).
+bool XsdStructurallyEqual(const DfaXsd& a, const DfaXsd& b);
+
+}  // namespace stap
+
+#endif  // STAP_SCHEMA_MINIMIZE_H_

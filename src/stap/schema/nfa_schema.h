@@ -1,0 +1,62 @@
+// EDTD(NFA): extended DTDs whose content models are NFAs
+// (paper, Section 5).
+//
+// Keeping content models non-deterministic changes the complexity
+// landscape: inclusion into a single-type schema rises from PTIME
+// (Lemma 3.3, DFA contents) to PSPACE (Lemma 5.1), and complementation of
+// content models picks up the subset-construction blow-up. This module
+// provides the NFA-content representation, Lemma 5.1's inclusion test
+// (content checks via on-the-fly determinization), and the conversion to
+// the DFA-content form used everywhere else.
+#ifndef STAP_SCHEMA_NFA_SCHEMA_H_
+#define STAP_SCHEMA_NFA_SCHEMA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stap/automata/nfa.h"
+#include "stap/base/status.h"
+#include "stap/schema/edtd.h"
+
+namespace stap {
+
+struct EdtdNfa {
+  Alphabet sigma;
+  Alphabet types;
+  std::vector<int> mu;           // type -> symbol
+  std::vector<int> start_types;  // sorted
+  std::vector<Nfa> content;      // content[τ] over the type alphabet
+
+  // Views a DFA-content EDTD as an EDTD(NFA) (for conversions and
+  // cross-checks). Inputs should be reduced; the inclusion test below
+  // relies on content models being trim.
+  static EdtdNfa FromEdtd(const Edtd& edtd);
+
+  int num_types() const { return static_cast<int>(mu.size()); }
+
+  int64_t Size() const;
+
+  bool Accepts(const Tree& tree) const;
+
+  // Converts to DFA content models (worst-case exponential per content
+  // model — the Section 5 cost).
+  Edtd Determinized() const;
+};
+
+// Builds an EDTD(NFA) from the textual schema format (schema/text_format
+// syntax) compiling content regexes with the Glushkov construction only —
+// no determinization.
+StatusOr<EdtdNfa> ParseSchemaNfa(std::string_view text);
+
+// Lemma 5.1: L(d1) ⊆ L(d2) for EDTD(NFA)s with d2 single-type. The pair
+// walk is polynomial; each per-pair content inclusion determinizes d2's
+// content model on the fly (PSPACE-style).
+bool IncludedInSingleTypeNfa(const EdtdNfa& d1, const EdtdNfa& d2);
+
+// Single-type test on the NFA representation (Observation 2.7(3) applies
+// unchanged: determinism of the type automaton).
+bool IsSingleTypeNfa(const EdtdNfa& edtd);
+
+}  // namespace stap
+
+#endif  // STAP_SCHEMA_NFA_SCHEMA_H_

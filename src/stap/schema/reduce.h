@@ -1,0 +1,26 @@
+// EDTD reduction (paper, Proviso 2.3).
+//
+// An EDTD is reduced when every type is used by some accepted tree, i.e.
+// every type is reachable from a start type and productive (derives at
+// least one finite tree). All approximation algorithms assume reduced
+// inputs; ReduceEdtd establishes the property in polynomial time without
+// changing the language.
+#ifndef STAP_SCHEMA_REDUCE_H_
+#define STAP_SCHEMA_REDUCE_H_
+
+#include "stap/schema/edtd.h"
+
+namespace stap {
+
+// Returns an equivalent reduced EDTD: useless types removed, type ids
+// renumbered densely, content DFAs restricted to surviving types, trimmed,
+// and minimized. An EDTD for the empty language comes back with zero types.
+Edtd ReduceEdtd(const Edtd& edtd);
+
+// True if every type is reachable and productive (and content DFAs carry
+// no transition on a useless type).
+bool IsReduced(const Edtd& edtd);
+
+}  // namespace stap
+
+#endif  // STAP_SCHEMA_REDUCE_H_

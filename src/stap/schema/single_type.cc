@@ -1,0 +1,153 @@
+#include "stap/schema/single_type.h"
+
+#include <sstream>
+
+#include "stap/automata/determinize.h"
+#include "stap/automata/minimize.h"
+#include "stap/automata/ops.h"
+#include "stap/base/check.h"
+#include "stap/schema/type_automaton.h"
+
+namespace stap {
+
+namespace {
+
+bool AcceptsAt(const DfaXsd& xsd, const Tree& node, int state) {
+  Word child_string;
+  child_string.reserve(node.children.size());
+  for (const Tree& child : node.children) child_string.push_back(child.label);
+  if (!xsd.content[state].Accepts(child_string)) return false;
+  for (const Tree& child : node.children) {
+    int child_state = xsd.automaton.Next(state, child.label);
+    if (child_state == kNoState) return false;
+    if (!AcceptsAt(xsd, child, child_state)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int64_t DfaXsd::Size() const {
+  int64_t total = sigma.size() + static_cast<int64_t>(start_symbols.size()) +
+                  automaton.Size();
+  for (size_t q = 1; q < content.size(); ++q) total += content[q].Size();
+  return total;
+}
+
+bool DfaXsd::Accepts(const Tree& tree) const {
+  if (tree.label < 0 || tree.label >= sigma.size()) return false;
+  if (!StateSetContains(start_symbols, tree.label)) return false;
+  int state = automaton.Next(0, tree.label);
+  if (state == kNoState) return false;
+  return AcceptsAt(*this, tree, state);
+}
+
+void DfaXsd::CheckWellFormed() const {
+  STAP_CHECK(automaton.num_states() >= 1);
+  STAP_CHECK(automaton.initial() == 0);
+  STAP_CHECK(static_cast<int>(state_label.size()) == automaton.num_states());
+  STAP_CHECK(static_cast<int>(content.size()) == automaton.num_states());
+  STAP_CHECK(state_label[0] == kNoSymbol);
+  STAP_CHECK(automaton.num_symbols() == sigma.size());
+  for (int q = 0; q < automaton.num_states(); ++q) {
+    for (int a = 0; a < sigma.size(); ++a) {
+      int r = automaton.Next(q, a);
+      if (r != kNoState) {
+        STAP_CHECK(r != 0);  // q_init has no incoming transitions
+        STAP_CHECK(state_label[r] == a);  // state-labeled
+      }
+    }
+    if (q > 0) STAP_CHECK(content[q].num_symbols() == sigma.size());
+  }
+}
+
+std::string DfaXsd::ToString() const {
+  std::ostringstream os;
+  os << "DfaXsd start={";
+  for (size_t i = 0; i < start_symbols.size(); ++i) {
+    if (i > 0) os << ",";
+    os << sigma.Name(start_symbols[i]);
+  }
+  os << "} states=" << automaton.num_states() << "\n";
+  for (int q = 1; q < automaton.num_states(); ++q) {
+    os << "  state " << q << " [" << sigma.Name(state_label[q])
+       << "] content DFA(" << content[q].num_states() << ")\n";
+  }
+  return os.str();
+}
+
+DfaXsd DfaXsdFromStEdtd(const Edtd& edtd) {
+  TypeAutomaton type_automaton = BuildTypeAutomaton(edtd);
+  STAP_CHECK(type_automaton.IsDeterministic());
+
+  DfaXsd xsd;
+  xsd.sigma = edtd.sigma;
+  for (int tau : edtd.start_types) {
+    StateSetInsert(xsd.start_symbols, edtd.mu[tau]);
+  }
+
+  // The deterministic type automaton becomes the XSD automaton verbatim:
+  // state 0 = q_init, state 1 + τ = type τ.
+  const Nfa& nfa = type_automaton.nfa;
+  Dfa automaton(nfa.num_states(), nfa.num_symbols());
+  automaton.SetInitial(0);
+  for (int q = 0; q < nfa.num_states(); ++q) {
+    for (int a = 0; a < nfa.num_symbols(); ++a) {
+      const StateSet& next = nfa.Next(q, a);
+      STAP_CHECK(next.size() <= 1);
+      if (!next.empty()) automaton.SetTransition(q, a, next[0]);
+    }
+  }
+  xsd.automaton = std::move(automaton);
+  xsd.state_label = type_automaton.state_label;
+
+  xsd.content.resize(nfa.num_states(), Dfa::EmptyLanguage(edtd.num_symbols()));
+  for (int tau = 0; tau < edtd.num_types(); ++tau) {
+    // μ(d(τ)): the homomorphic image of the content model. Because the
+    // schema is single-type, μ is injective on the types occurring in
+    // d(τ), so the image stays deterministic; determinize-and-minimize
+    // is cheap and also canonicalizes.
+    Nfa image = HomomorphicImage(edtd.content[tau].Trimmed(), edtd.mu,
+                                 edtd.num_symbols());
+    xsd.content[TypeAutomaton::StateOfType(tau)] = MinimizeNfa(image);
+  }
+  xsd.CheckWellFormed();
+  return xsd;
+}
+
+Edtd StEdtdFromDfaXsd(const DfaXsd& xsd) {
+  xsd.CheckWellFormed();
+  const int num_states = xsd.automaton.num_states();
+
+  Edtd edtd;
+  edtd.sigma = xsd.sigma;
+  // Type ids are state ids shifted by one: type of state q is q - 1.
+  for (int q = 1; q < num_states; ++q) {
+    edtd.types.Intern(xsd.sigma.Name(xsd.state_label[q]) + "@" +
+                      std::to_string(q));
+    edtd.mu.push_back(xsd.state_label[q]);
+  }
+  const int num_types = num_states - 1;
+
+  for (int a : xsd.start_symbols) {
+    int q = xsd.automaton.Next(0, a);
+    if (q != kNoState) StateSetInsert(edtd.start_types, q - 1);
+  }
+
+  edtd.content.reserve(num_types);
+  for (int q = 1; q < num_states; ++q) {
+    // Lift content[q] from Σ to types: symbol a becomes the unique type
+    // δ(q, a) - 1 when that transition exists.
+    std::vector<int> type_to_symbol(num_types, kNoSymbol);
+    for (int tau = 0; tau < num_types; ++tau) {
+      int a = xsd.state_label[tau + 1];
+      if (xsd.automaton.Next(q, a) == tau + 1) type_to_symbol[tau] = a;
+    }
+    edtd.content.push_back(Minimize(
+        InverseHomomorphism(xsd.content[q], type_to_symbol, num_types)));
+  }
+  edtd.CheckWellFormed();
+  return edtd;
+}
+
+}  // namespace stap

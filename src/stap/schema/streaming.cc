@@ -1,0 +1,87 @@
+#include "stap/schema/streaming.h"
+
+#include "stap/base/check.h"
+
+namespace stap {
+
+StreamingValidator::StreamingValidator(const DfaXsd* xsd) : xsd_(xsd) {
+  STAP_CHECK(xsd != nullptr);
+  xsd->CheckWellFormed();
+}
+
+bool StreamingValidator::StartElement(int symbol) {
+  if (!ok_) return false;
+  if (symbol < 0 || symbol >= xsd_->sigma.size()) {
+    ok_ = false;
+    return false;
+  }
+  if (stack_.empty()) {
+    // Root element: one per document, from the start symbols.
+    if (saw_root_ || !StateSetContains(xsd_->start_symbols, symbol)) {
+      ok_ = false;
+      return false;
+    }
+    saw_root_ = true;
+  } else {
+    // Advance the parent's content run.
+    Frame& parent = stack_.back();
+    if (parent.content_state == kNoState) {
+      ok_ = false;
+      return false;
+    }
+    parent.content_state =
+        xsd_->content[parent.xsd_state].Next(parent.content_state, symbol);
+    if (parent.content_state == kNoState) {
+      ok_ = false;
+      return false;
+    }
+  }
+  int from = stack_.empty() ? 0 : stack_.back().xsd_state;
+  int state = xsd_->automaton.Next(from, symbol);
+  if (state == kNoState) {
+    ok_ = false;
+    return false;
+  }
+  const Dfa& content = xsd_->content[state];
+  stack_.push_back(
+      Frame{state, content.num_states() > 0 ? content.initial() : kNoState});
+  return true;
+}
+
+bool StreamingValidator::EndElement() {
+  if (!ok_) return false;
+  if (stack_.empty()) {
+    ok_ = false;
+    return false;
+  }
+  const Frame& frame = stack_.back();
+  if (frame.content_state == kNoState ||
+      !xsd_->content[frame.xsd_state].IsFinal(frame.content_state)) {
+    ok_ = false;
+    return false;
+  }
+  stack_.pop_back();
+  return true;
+}
+
+bool StreamingValidator::EndDocument() {
+  return ok_ && saw_root_ && stack_.empty();
+}
+
+namespace {
+
+void Feed(StreamingValidator* validator, const Tree& tree) {
+  if (!validator->StartElement(tree.label)) return;
+  for (const Tree& child : tree.children) Feed(validator, child);
+  validator->EndElement();
+}
+
+}  // namespace
+
+bool ValidateStreaming(const DfaXsd& xsd, const Tree& tree) {
+  StreamingValidator validator(&xsd);
+  Feed(&validator, tree);
+  return validator.EndDocument();
+}
+
+}  // namespace stap

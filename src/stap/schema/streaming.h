@@ -1,0 +1,61 @@
+// Streaming (SAX-style) one-pass validation against a DFA-based XSD.
+//
+// The EDC constraint's operational payoff (Section 1, [21]): a document
+// can be validated top-down in a single pass with O(depth) memory and
+// O(1) automaton work per event. The validator consumes start/end element
+// events; after the first violation it stays rejected but keeps accepting
+// events (so callers can drain their parser).
+//
+//   StreamingValidator v(&xsd);
+//   v.StartElement(book); v.StartElement(title); v.EndElement();
+//   v.EndElement();
+//   bool ok = v.EndDocument();
+#ifndef STAP_SCHEMA_STREAMING_H_
+#define STAP_SCHEMA_STREAMING_H_
+
+#include <vector>
+
+#include "stap/schema/single_type.h"
+#include "stap/tree/tree.h"
+
+namespace stap {
+
+class StreamingValidator {
+ public:
+  // `xsd` must outlive the validator.
+  explicit StreamingValidator(const DfaXsd* xsd);
+
+  // Feeds the opening tag of an element labeled `symbol`. Returns ok().
+  bool StartElement(int symbol);
+
+  // Feeds a closing tag. Returns ok().
+  bool EndElement();
+
+  // True after the (single) root element closed with no violations.
+  bool EndDocument();
+
+  // False once any violation has been seen.
+  bool ok() const { return ok_; }
+
+  // Number of currently open elements.
+  int depth() const { return static_cast<int>(stack_.size()); }
+
+ private:
+  struct Frame {
+    int xsd_state;      // type of the open element
+    int content_state;  // run of its content DFA over the children so far
+  };
+
+  const DfaXsd* xsd_;
+  std::vector<Frame> stack_;
+  bool ok_ = true;
+  bool saw_root_ = false;
+};
+
+// Convenience: validates a materialized tree through the streaming
+// interface (used to cross-check against DfaXsd::Accepts).
+bool ValidateStreaming(const DfaXsd& xsd, const Tree& tree);
+
+}  // namespace stap
+
+#endif  // STAP_SCHEMA_STREAMING_H_

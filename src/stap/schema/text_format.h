@@ -1,0 +1,48 @@
+// Textual schema format.
+//
+// A human-readable notation for EDTDs (and DTDs as the degenerate case),
+// used by the examples and tests:
+//
+//   # comment
+//   start Book Article
+//   type Book    : book    -> Title Chapter+
+//   type Title   : title   -> %
+//   type Chapter : chapter -> (Section | %)
+//
+// Each `type` rule declares a type name, its Σ-label, and a content regex
+// over *type names* (syntax of regex/parser.h). `start` lists start types.
+// Σ consists of all labels mentioned; ∆ of all type names.
+#ifndef STAP_SCHEMA_TEXT_FORMAT_H_
+#define STAP_SCHEMA_TEXT_FORMAT_H_
+
+#include <string>
+#include <string_view>
+
+#include "stap/base/status.h"
+#include "stap/schema/edtd.h"
+
+namespace stap {
+
+// Parses the textual format into an EDTD (not automatically reduced).
+StatusOr<Edtd> ParseSchema(std::string_view input);
+
+// The raw declarations of a schema file, before content compilation —
+// shared by the DFA-content (ParseSchema) and NFA-content
+// (ParseSchemaNfa) pipelines.
+struct SchemaDeclarations {
+  Alphabet sigma;
+  Alphabet types;
+  std::vector<int> mu;
+  std::vector<std::string> content_sources;  // regex text per type
+  std::vector<int> start_types;              // sorted
+};
+
+StatusOr<SchemaDeclarations> ParseSchemaDeclarations(std::string_view input);
+
+// Renders an EDTD back into the textual format; content DFAs are converted
+// to regular expressions by state elimination.
+std::string SchemaToText(const Edtd& edtd);
+
+}  // namespace stap
+
+#endif  // STAP_SCHEMA_TEXT_FORMAT_H_

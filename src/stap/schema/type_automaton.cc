@@ -1,0 +1,47 @@
+#include "stap/schema/type_automaton.h"
+
+namespace stap {
+
+std::vector<int> TypeAutomaton::TypesAfter(const Word& word) const {
+  StateSet states = nfa.Run(word);
+  std::vector<int> types;
+  types.reserve(states.size());
+  for (int q : states) {
+    if (q != kInit) types.push_back(TypeOfState(q));
+  }
+  return types;
+}
+
+bool TypeAutomaton::IsDeterministic() const {
+  for (int q = 0; q < nfa.num_states(); ++q) {
+    for (int a = 0; a < nfa.num_symbols(); ++a) {
+      if (nfa.Next(q, a).size() > 1) return false;
+    }
+  }
+  return true;
+}
+
+TypeAutomaton BuildTypeAutomaton(const Edtd& edtd) {
+  TypeAutomaton result{Nfa(edtd.num_types() + 1, edtd.num_symbols()), {}};
+  result.nfa.AddInitial(TypeAutomaton::kInit);
+  result.state_label.assign(edtd.num_types() + 1, kNoSymbol);
+
+  for (int tau : edtd.start_types) {
+    result.nfa.AddTransition(TypeAutomaton::kInit, edtd.mu[tau],
+                             TypeAutomaton::StateOfType(tau));
+  }
+  for (int tau = 0; tau < edtd.num_types(); ++tau) {
+    result.state_label[TypeAutomaton::StateOfType(tau)] = edtd.mu[tau];
+    for (int occ : edtd.OccurringTypes(tau)) {
+      result.nfa.AddTransition(TypeAutomaton::StateOfType(tau), edtd.mu[occ],
+                               TypeAutomaton::StateOfType(occ));
+    }
+  }
+  return result;
+}
+
+bool IsSingleType(const Edtd& edtd) {
+  return BuildTypeAutomaton(edtd).IsDeterministic();
+}
+
+}  // namespace stap

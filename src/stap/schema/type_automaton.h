@@ -1,0 +1,46 @@
+// Type automata (paper, Definition 2.5).
+//
+// The type automaton of an EDTD is a state-labeled NFA over Σ whose states
+// are q_init plus the types: from q_init, symbol a goes to the start types
+// labeled a; from type τ, symbol a goes to the types labeled a that occur
+// in some word of d(τ). An EDTD is single-type iff its type automaton is
+// deterministic (Observation 2.7(3)).
+#ifndef STAP_SCHEMA_TYPE_AUTOMATON_H_
+#define STAP_SCHEMA_TYPE_AUTOMATON_H_
+
+#include <vector>
+
+#include "stap/automata/nfa.h"
+#include "stap/schema/edtd.h"
+
+namespace stap {
+
+struct TypeAutomaton {
+  // State 0 is q_init; state 1 + τ is type τ. Over Σ, no final states.
+  Nfa nfa;
+
+  // Label of each state: kNoSymbol for q_init, μ(τ) otherwise.
+  std::vector<int> state_label;
+
+  static constexpr int kInit = 0;
+
+  static int StateOfType(int tau) { return tau + 1; }
+  static int TypeOfState(int state) { return state - 1; }
+
+  // The set of types reached on `word` from q_init (anc-type of a node
+  // whose ancestor string is `word`).
+  std::vector<int> TypesAfter(const Word& word) const;
+
+  // True if deterministic, i.e. the underlying EDTD is single-type.
+  bool IsDeterministic() const;
+};
+
+// Builds the type automaton; linear in the EDTD (Observation 2.7(1)).
+TypeAutomaton BuildTypeAutomaton(const Edtd& edtd);
+
+// Single-type test (Definition 2.4 via Observation 2.7(3)).
+bool IsSingleType(const Edtd& edtd);
+
+}  // namespace stap
+
+#endif  // STAP_SCHEMA_TYPE_AUTOMATON_H_

@@ -1,0 +1,196 @@
+#include "stap/schema/typing.h"
+
+#include <sstream>
+
+#include "stap/base/check.h"
+
+namespace stap {
+
+namespace {
+
+// Saturating arithmetic for typing counts.
+int64_t SatAdd(int64_t a, int64_t b, int64_t cap) {
+  return a > cap - b ? cap : a + b;
+}
+
+int64_t SatMul(int64_t a, int64_t b, int64_t cap) {
+  if (a == 0 || b == 0) return 0;
+  if (a > cap / b) return cap;
+  return a * b;
+}
+
+// Per-node typing counts: counts[tau] = number of typings of `node` whose
+// root gets type tau (0 when µ(tau) mismatches or no typing exists).
+std::vector<int64_t> TypingCounts(const Edtd& edtd, const Tree& node,
+                                  int64_t cap) {
+  const int n = edtd.num_types();
+  std::vector<std::vector<int64_t>> child_counts;
+  child_counts.reserve(node.children.size());
+  for (const Tree& child : node.children) {
+    child_counts.push_back(TypingCounts(edtd, child, cap));
+  }
+
+  std::vector<int64_t> result(n, 0);
+  for (int tau = 0; tau < n; ++tau) {
+    if (edtd.mu[tau] != node.label) continue;
+    const Dfa& dfa = edtd.content[tau];
+    if (dfa.num_states() == 0) continue;
+    // Weighted path count through the content DFA: weight of symbol t at
+    // child position i is child_counts[i][t].
+    std::vector<int64_t> weight_in_state(dfa.num_states(), 0);
+    weight_in_state[dfa.initial()] = 1;
+    for (const std::vector<int64_t>& child : child_counts) {
+      std::vector<int64_t> next(dfa.num_states(), 0);
+      for (int s = 0; s < dfa.num_states(); ++s) {
+        if (weight_in_state[s] == 0) continue;
+        for (int t = 0; t < n; ++t) {
+          if (child[t] == 0) continue;
+          int r = dfa.Next(s, t);
+          if (r == kNoState) continue;
+          next[r] = SatAdd(next[r],
+                           SatMul(weight_in_state[s], child[t], cap), cap);
+        }
+      }
+      weight_in_state = std::move(next);
+    }
+    int64_t total = 0;
+    for (int s = 0; s < dfa.num_states(); ++s) {
+      if (dfa.IsFinal(s)) total = SatAdd(total, weight_in_state[s], cap);
+    }
+    result[tau] = total;
+  }
+  return result;
+}
+
+// Extracts one typing, assuming counts certify existence: assigns `tau`
+// to `node` and recurses along a satisfying content word.
+void ExtractTyping(const Edtd& edtd, const Tree& node, int tau,
+                   const TreePath& path, Typing* out) {
+  out->paths.push_back(path);
+  out->types.push_back(tau);
+
+  const int n = edtd.num_types();
+  std::vector<std::vector<int64_t>> child_counts;
+  child_counts.reserve(node.children.size());
+  for (const Tree& child : node.children) {
+    child_counts.push_back(TypingCounts(edtd, child, int64_t{1} << 40));
+  }
+
+  // Choose child types: walk the content DFA keeping only states from
+  // which acceptance with the remaining children is possible. reachable
+  // sets are computed right-to-left.
+  const Dfa& dfa = edtd.content[tau];
+  const int k = static_cast<int>(node.children.size());
+  // viable[i] = states from which children i..k-1 can be consumed.
+  std::vector<std::vector<bool>> viable(
+      k + 1, std::vector<bool>(dfa.num_states(), false));
+  for (int s = 0; s < dfa.num_states(); ++s) {
+    viable[k][s] = dfa.IsFinal(s);
+  }
+  for (int i = k - 1; i >= 0; --i) {
+    for (int s = 0; s < dfa.num_states(); ++s) {
+      for (int t = 0; t < n && !viable[i][s]; ++t) {
+        if (child_counts[i][t] == 0) continue;
+        int r = dfa.Next(s, t);
+        if (r != kNoState && viable[i + 1][r]) viable[i][s] = true;
+      }
+    }
+  }
+  int state = dfa.initial();
+  STAP_CHECK(viable[0][state]);
+  for (int i = 0; i < k; ++i) {
+    int chosen = -1;
+    for (int t = 0; t < n; ++t) {
+      if (child_counts[i][t] == 0) continue;
+      int r = dfa.Next(state, t);
+      if (r != kNoState && viable[i + 1][r]) {
+        chosen = t;
+        state = r;
+        break;
+      }
+    }
+    STAP_CHECK(chosen >= 0);
+    TreePath child_path = path;
+    child_path.push_back(i);
+    ExtractTyping(edtd, node.children[i], chosen, child_path, out);
+  }
+}
+
+void AssignXsdTypes(const DfaXsd& xsd, const Tree& node, int state,
+                    const TreePath& path, Typing* out, bool* ok) {
+  if (!*ok) return;
+  out->paths.push_back(path);
+  out->types.push_back(state - 1);
+  Word child_string;
+  child_string.reserve(node.children.size());
+  for (const Tree& child : node.children) child_string.push_back(child.label);
+  if (!xsd.content[state].Accepts(child_string)) {
+    *ok = false;
+    return;
+  }
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    int child_state = xsd.automaton.Next(state, node.children[i].label);
+    if (child_state == kNoState) {
+      *ok = false;
+      return;
+    }
+    TreePath child_path = path;
+    child_path.push_back(static_cast<int>(i));
+    AssignXsdTypes(xsd, node.children[i], child_state, child_path, out, ok);
+  }
+}
+
+}  // namespace
+
+std::string Typing::ToString(const Edtd& schema, const Tree& tree) const {
+  std::ostringstream os;
+  for (size_t i = 0; i < paths.size(); ++i) {
+    os << schema.sigma.Name(tree.At(paths[i]).label) << "@[";
+    for (size_t j = 0; j < paths[i].size(); ++j) {
+      if (j > 0) os << ".";
+      os << paths[i][j];
+    }
+    os << "] : " << schema.types.Name(types[i]) << "\n";
+  }
+  return os.str();
+}
+
+std::optional<Typing> AssignTypes(const DfaXsd& xsd, const Tree& tree) {
+  if (tree.label < 0 || tree.label >= xsd.sigma.size() ||
+      !StateSetContains(xsd.start_symbols, tree.label)) {
+    return std::nullopt;
+  }
+  int state = xsd.automaton.Next(0, tree.label);
+  if (state == kNoState) return std::nullopt;
+  Typing typing;
+  bool ok = true;
+  AssignXsdTypes(xsd, tree, state, {}, &typing, &ok);
+  if (!ok) return std::nullopt;
+  return typing;
+}
+
+std::optional<Typing> AssignTypesEdtd(const Edtd& edtd, const Tree& tree) {
+  if (tree.label < 0 || tree.label >= edtd.num_symbols()) return std::nullopt;
+  std::vector<int64_t> root_counts =
+      TypingCounts(edtd, tree, int64_t{1} << 40);
+  for (int tau : edtd.start_types) {
+    if (root_counts[tau] > 0) {
+      Typing typing;
+      ExtractTyping(edtd, tree, tau, {}, &typing);
+      return typing;
+    }
+  }
+  return std::nullopt;
+}
+
+int64_t CountTypings(const Edtd& edtd, const Tree& tree, int64_t cap) {
+  if (tree.label < 0 || tree.label >= edtd.num_symbols()) return 0;
+  std::vector<int64_t> root_counts = TypingCounts(edtd, tree, cap);
+  int64_t total = 0;
+  for (int tau : edtd.start_types) {
+    total = SatAdd(total, root_counts[tau], cap);
+  }
+  return total;
+}
+
+}  // namespace stap

@@ -1,0 +1,74 @@
+#include "stap/schema/validate.h"
+
+#include <sstream>
+
+namespace stap {
+
+namespace {
+
+std::string FormatWord(const Word& word, const Alphabet& alphabet) {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < word.size(); ++i) {
+    if (i > 0) os << " ";
+    os << alphabet.Name(word[i]);
+  }
+  os << "]";
+  return os.str();
+}
+
+bool ValidateAt(const DfaXsd& xsd, const Tree& node, int state, TreePath* path,
+                ValidationResult* result) {
+  Word child_string;
+  child_string.reserve(node.children.size());
+  for (const Tree& child : node.children) child_string.push_back(child.label);
+  if (!xsd.content[state].Accepts(child_string)) {
+    result->ok = false;
+    result->violation_path = *path;
+    result->message = "child string " + FormatWord(child_string, xsd.sigma) +
+                      " of element <" + xsd.sigma.Name(node.label) +
+                      "> does not match its content model";
+    return false;
+  }
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    const Tree& child = node.children[i];
+    int child_state = xsd.automaton.Next(state, child.label);
+    if (child_state == kNoState) {
+      result->ok = false;
+      path->push_back(static_cast<int>(i));
+      result->violation_path = *path;
+      path->pop_back();
+      result->message = "element <" + xsd.sigma.Name(child.label) +
+                        "> is not declared in this context";
+      return false;
+    }
+    path->push_back(static_cast<int>(i));
+    bool ok = ValidateAt(xsd, child, child_state, path, result);
+    path->pop_back();
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ValidationResult ValidateWithDiagnostics(const DfaXsd& xsd, const Tree& tree) {
+  ValidationResult result;
+  if (tree.label < 0 || tree.label >= xsd.sigma.size() ||
+      !StateSetContains(xsd.start_symbols, tree.label)) {
+    result.ok = false;
+    result.message = "root element is not an allowed start symbol";
+    return result;
+  }
+  int state = xsd.automaton.Next(0, tree.label);
+  if (state == kNoState) {
+    result.ok = false;
+    result.message = "root element has no declaration";
+    return result;
+  }
+  TreePath path;
+  ValidateAt(xsd, tree, state, &path, &result);
+  return result;
+}
+
+}  // namespace stap

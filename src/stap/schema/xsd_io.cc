@@ -1,0 +1,333 @@
+#include "stap/schema/xsd_io.h"
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "stap/base/check.h"
+#include "stap/regex/bkw.h"
+#include "stap/regex/dre_approx.h"
+#include "stap/regex/from_dfa.h"
+#include "stap/regex/glushkov.h"
+#include "stap/tree/xml.h"
+
+namespace stap {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Export
+// ---------------------------------------------------------------------------
+
+std::string TypeNameOfState(const DfaXsd& xsd, int state) {
+  return "t" + std::to_string(state) + "_" +
+         xsd.sigma.Name(xsd.state_label[state]);
+}
+
+// Wraps `particle` so that it carries the given occurrence bounds.
+XmlElement WithOccurs(XmlElement particle, const char* min, const char* max) {
+  XmlElement wrapper;
+  wrapper.name = "xs:sequence";
+  wrapper.attributes.push_back({"minOccurs", min});
+  wrapper.attributes.push_back({"maxOccurs", max});
+  wrapper.children.push_back(std::move(particle));
+  return wrapper;
+}
+
+XmlElement ParticleFromRegex(const DfaXsd& xsd, int state,
+                             const Regex& regex) {
+  switch (regex.kind()) {
+    case RegexKind::kEmptySet: {
+      // Unsatisfiable content; an empty choice (flagged, since W3C XSD
+      // has no direct equivalent). Reduced schemas never produce this.
+      XmlElement choice;
+      choice.name = "xs:choice";
+      choice.attributes.push_back({"stap-empty", "true"});
+      return choice;
+    }
+    case RegexKind::kEpsilon: {
+      XmlElement sequence;
+      sequence.name = "xs:sequence";
+      return sequence;
+    }
+    case RegexKind::kSymbol: {
+      int symbol = regex.symbol();
+      int child_state = xsd.automaton.Next(state, symbol);
+      STAP_CHECK(child_state != kNoState);  // content is trim
+      XmlElement element;
+      element.name = "xs:element";
+      element.attributes.push_back({"name", xsd.sigma.Name(symbol)});
+      element.attributes.push_back({"type", TypeNameOfState(xsd, child_state)});
+      return element;
+    }
+    case RegexKind::kConcat: {
+      XmlElement sequence;
+      sequence.name = "xs:sequence";
+      for (const RegexPtr& child : regex.children()) {
+        sequence.children.push_back(ParticleFromRegex(xsd, state, *child));
+      }
+      return sequence;
+    }
+    case RegexKind::kUnion: {
+      XmlElement choice;
+      choice.name = "xs:choice";
+      for (const RegexPtr& child : regex.children()) {
+        choice.children.push_back(ParticleFromRegex(xsd, state, *child));
+      }
+      return choice;
+    }
+    case RegexKind::kStar:
+      return WithOccurs(
+          ParticleFromRegex(xsd, state, *regex.children()[0]), "0",
+          "unbounded");
+    case RegexKind::kPlus:
+      return WithOccurs(
+          ParticleFromRegex(xsd, state, *regex.children()[0]), "1",
+          "unbounded");
+    case RegexKind::kOptional:
+      return WithOccurs(ParticleFromRegex(xsd, state, *regex.children()[0]),
+                        "0", "1");
+  }
+  return XmlElement{};
+}
+
+// ---------------------------------------------------------------------------
+// Import
+// ---------------------------------------------------------------------------
+
+struct Occurs {
+  bool optional = false;   // minOccurs == 0
+  bool unbounded = false;  // maxOccurs == "unbounded"
+};
+
+StatusOr<Occurs> ReadOccurs(const XmlElement& element) {
+  Occurs occurs;
+  if (const std::string* value = element.FindAttribute("minOccurs")) {
+    if (*value == "0") {
+      occurs.optional = true;
+    } else if (*value != "1") {
+      return UnimplementedError("minOccurs='" + *value +
+                                "' is outside the supported subset");
+    }
+  }
+  if (const std::string* value = element.FindAttribute("maxOccurs")) {
+    if (*value == "unbounded") {
+      occurs.unbounded = true;
+    } else if (*value != "1") {
+      return UnimplementedError("maxOccurs='" + *value +
+                                "' is outside the supported subset");
+    }
+  }
+  return occurs;
+}
+
+RegexPtr ApplyOccurs(RegexPtr regex, const Occurs& occurs) {
+  if (occurs.optional && occurs.unbounded) return Regex::Star(std::move(regex));
+  if (occurs.unbounded) return Regex::Plus(std::move(regex));
+  if (occurs.optional) return Regex::Optional(std::move(regex));
+  return regex;
+}
+
+class Importer {
+ public:
+  StatusOr<Edtd> Run(std::string_view xml) {
+    StatusOr<XmlElement> document = ParseXmlDocument(xml);
+    if (!document.ok()) return document.status();
+    if (document->name != "xs:schema" && document->name != "schema") {
+      return InvalidArgumentError("root element must be xs:schema");
+    }
+
+    // Pass 1: collect named complex types and global elements.
+    std::vector<std::pair<std::string, std::string>> globals;  // name, type
+    for (const XmlElement& child : document->children) {
+      if (child.name == "xs:complexType") {
+        const std::string* name = child.FindAttribute("name");
+        if (name == nullptr) {
+          return InvalidArgumentError(
+              "top-level xs:complexType must be named");
+        }
+        complex_types_[*name] = &child;
+      } else if (child.name == "xs:element") {
+        const std::string* name = child.FindAttribute("name");
+        if (name == nullptr) {
+          return InvalidArgumentError("global xs:element must be named");
+        }
+        StatusOr<std::string> type = ElementTypeName(child);
+        if (!type.ok()) return type.status();
+        globals.emplace_back(*name, *type);
+      } else if (child.name == "xs:annotation") {
+        continue;
+      } else {
+        return UnimplementedError("unsupported top-level element <" +
+                                  child.name + ">");
+      }
+    }
+
+    // Pass 2: discover all (element name, type name) pairings and compile
+    // their content expressions. The worklist grows as particles mention
+    // new pairings.
+    for (const auto& [element_name, type_name] : globals) {
+      int type_id = InternType(element_name, type_name);
+      StateSetInsert(edtd_.start_types, type_id);
+    }
+    for (size_t done = 0; done < discovered_.size(); ++done) {
+      std::string type_name = discovered_[done].second;
+      if (content_regex_.count(type_name) > 0) continue;
+      auto it = complex_types_.find(type_name);
+      if (it == complex_types_.end()) {
+        return InvalidArgumentError("unknown complexType '" + type_name +
+                                    "'");
+      }
+      StatusOr<RegexPtr> regex = ParticleListToRegex(it->second->children);
+      if (!regex.ok()) return regex.status();
+      content_regex_[type_name] = *regex;
+    }
+
+    // Pass 3: compile content DFAs now that every type id exists.
+    edtd_.content.resize(edtd_.num_types());
+    for (int tau = 0; tau < edtd_.num_types(); ++tau) {
+      const std::string& type_name = discovered_[tau].second;
+      edtd_.content[tau] =
+          RegexToDfa(*content_regex_.at(type_name), edtd_.num_types());
+    }
+    edtd_.CheckWellFormed();
+    return edtd_;
+  }
+
+ private:
+  // The declared type of an element: a `type` attribute or an inline
+  // anonymous complex type (which gets a synthetic name).
+  StatusOr<std::string> ElementTypeName(const XmlElement& element) {
+    const std::string* type = element.FindAttribute("type");
+    const XmlElement* inline_type = nullptr;
+    for (const XmlElement& child : element.children) {
+      if (child.name == "xs:complexType") {
+        if (inline_type != nullptr || type != nullptr) {
+          return InvalidArgumentError(
+              "element has both/multiple type declarations");
+        }
+        inline_type = &child;
+      }
+    }
+    if (type != nullptr) return *type;
+    if (inline_type != nullptr) {
+      std::string name = "anon" + std::to_string(anonymous_counter_++);
+      complex_types_[name] = inline_type;
+      return name;
+    }
+    return UnimplementedError(
+        "element without a complex type (simple types are outside the "
+        "subset)");
+  }
+
+  int InternType(const std::string& element_name,
+                 const std::string& type_name) {
+    std::string key = element_name + "$" + type_name;
+    int id = edtd_.types.Intern(key);
+    if (id == static_cast<int>(edtd_.mu.size())) {
+      edtd_.mu.push_back(edtd_.sigma.Intern(element_name));
+      discovered_.emplace_back(element_name, type_name);
+    }
+    return id;
+  }
+
+  StatusOr<RegexPtr> ParticleListToRegex(
+      const std::vector<XmlElement>& particles) {
+    std::vector<RegexPtr> parts;
+    for (const XmlElement& particle : particles) {
+      if (particle.name == "xs:annotation") continue;
+      StatusOr<RegexPtr> part = ParticleToRegex(particle);
+      if (!part.ok()) return part;
+      parts.push_back(*part);
+    }
+    return Regex::Concat(std::move(parts));
+  }
+
+  StatusOr<RegexPtr> ParticleToRegex(const XmlElement& particle) {
+    StatusOr<Occurs> occurs = ReadOccurs(particle);
+    if (!occurs.ok()) return occurs.status();
+    if (particle.name == "xs:sequence") {
+      StatusOr<RegexPtr> body = ParticleListToRegex(particle.children);
+      if (!body.ok()) return body;
+      return ApplyOccurs(*body, *occurs);
+    }
+    if (particle.name == "xs:choice") {
+      if (particle.FindAttribute("stap-empty") != nullptr) {
+        return Regex::EmptySet();
+      }
+      std::vector<RegexPtr> alternatives;
+      for (const XmlElement& child : particle.children) {
+        if (child.name == "xs:annotation") continue;
+        StatusOr<RegexPtr> alternative = ParticleToRegex(child);
+        if (!alternative.ok()) return alternative;
+        alternatives.push_back(*alternative);
+      }
+      return ApplyOccurs(Regex::Union(std::move(alternatives)), *occurs);
+    }
+    if (particle.name == "xs:element") {
+      const std::string* name = particle.FindAttribute("name");
+      if (name == nullptr) {
+        return UnimplementedError(
+            "xs:element without a name (element refs are outside the "
+            "subset)");
+      }
+      StatusOr<std::string> type = ElementTypeName(particle);
+      if (!type.ok()) return type.status();
+      return ApplyOccurs(Regex::Symbol(InternType(*name, *type)), *occurs);
+    }
+    return UnimplementedError("unsupported particle <" + particle.name + ">");
+  }
+
+  Edtd edtd_;
+  std::map<std::string, const XmlElement*> complex_types_;
+  std::map<std::string, RegexPtr> content_regex_;
+  // Type id -> (element name, type name), in id order.
+  std::vector<std::pair<std::string, std::string>> discovered_;
+  int anonymous_counter_ = 0;
+};
+
+}  // namespace
+
+std::string ExportXsd(const DfaXsd& xsd, const XsdExportOptions& options) {
+  xsd.CheckWellFormed();
+  XmlElement schema;
+  schema.name = "xs:schema";
+  schema.attributes.push_back(
+      {"xmlns:xs", "http://www.w3.org/2001/XMLSchema"});
+
+  for (int a : xsd.start_symbols) {
+    int state = xsd.automaton.Next(0, a);
+    if (state == kNoState) continue;
+    XmlElement global;
+    global.name = "xs:element";
+    global.attributes.push_back({"name", xsd.sigma.Name(a)});
+    global.attributes.push_back({"type", TypeNameOfState(xsd, state)});
+    schema.children.push_back(std::move(global));
+  }
+  for (int q = 1; q < xsd.automaton.num_states(); ++q) {
+    XmlElement complex_type;
+    complex_type.name = "xs:complexType";
+    complex_type.attributes.push_back({"name", TypeNameOfState(xsd, q)});
+    RegexPtr regex;
+    if (!IsOneUnambiguousLanguage(xsd.content[q])) {
+      // Section 5: no best deterministic expression may exist; the model
+      // violates UPA. Either approximate it away (upper approximation of
+      // the content language) or flag it for downstream tooling.
+      if (options.repair_upa) {
+        regex = ApproximateDre(xsd.content[q]);
+        complex_type.attributes.push_back({"stap-upa", "approximated"});
+      } else {
+        complex_type.attributes.push_back({"stap-upa", "unsatisfiable"});
+      }
+    }
+    if (regex == nullptr) regex = DfaToRegex(xsd.content[q]);
+    complex_type.children.push_back(ParticleFromRegex(xsd, q, *regex));
+    schema.children.push_back(std::move(complex_type));
+  }
+  return XmlElementToString(schema);
+}
+
+StatusOr<Edtd> ImportXsd(std::string_view xml) { return Importer().Run(xml); }
+
+}  // namespace stap

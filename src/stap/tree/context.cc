@@ -1,0 +1,56 @@
+#include "stap/tree/context.h"
+
+#include <sstream>
+
+#include "stap/base/check.h"
+
+namespace stap {
+
+TreeContext TreeContext::Extract(const Tree& t, const TreePath& v) {
+  STAP_CHECK(t.IsValidPath(v));
+  TreeContext context{t, v};
+  context.tree.At(v).children.clear();
+  return context;
+}
+
+Tree TreeContext::Apply(const Tree& replacement) const {
+  STAP_CHECK(replacement.label == hole_label());
+  return tree.ReplaceSubtree(hole, replacement);
+}
+
+TreeContext TreeContext::Compose(const TreeContext& inner) const {
+  STAP_CHECK(inner.tree.label == hole_label());
+  TreeContext result;
+  result.tree = tree.ReplaceSubtree(hole, inner.tree);
+  result.hole = hole;
+  result.hole.insert(result.hole.end(), inner.hole.begin(), inner.hole.end());
+  return result;
+}
+
+namespace {
+
+void Render(const Tree& node, const TreePath& hole, size_t depth, bool on_path,
+            const Alphabet& alphabet, std::ostringstream& os) {
+  os << alphabet.Name(node.label);
+  if (on_path && depth == hole.size()) os << "*";
+  if (!node.children.empty()) {
+    os << "(";
+    for (size_t i = 0; i < node.children.size(); ++i) {
+      if (i > 0) os << ", ";
+      bool child_on_path = on_path && depth < hole.size() &&
+                           hole[depth] == static_cast<int>(i);
+      Render(node.children[i], hole, depth + 1, child_on_path, alphabet, os);
+    }
+    os << ")";
+  }
+}
+
+}  // namespace
+
+std::string TreeContext::ToString(const Alphabet& alphabet) const {
+  std::ostringstream os;
+  Render(tree, hole, 0, true, alphabet, os);
+  return os.str();
+}
+
+}  // namespace stap

@@ -1,0 +1,45 @@
+// Contexts: trees with a single hole (paper, Section 2.1).
+//
+// The hole node is stored as a childless node carrying the hole's Σ-label;
+// applying a context to a tree whose root bears that label replaces the
+// hole node by the tree (paper's C[t']).
+#ifndef STAP_TREE_CONTEXT_H_
+#define STAP_TREE_CONTEXT_H_
+
+#include <string>
+
+#include "stap/tree/tree.h"
+
+namespace stap {
+
+struct TreeContext {
+  Tree tree;      // hole node is at `hole` and must be a leaf
+  TreePath hole;  // path to the hole node
+
+  // context^t(v): the context induced by node v of t (subtree at v removed,
+  // v's label kept as the hole label).
+  static TreeContext Extract(const Tree& t, const TreePath& v);
+
+  int hole_label() const { return tree.At(hole).label; }
+
+  // C[t']: require t'.label == hole_label().
+  Tree Apply(const Tree& replacement) const;
+
+  // C[C']: plugs another context into the hole; the result's hole is C''s.
+  TreeContext Compose(const TreeContext& inner) const;
+
+  // Renders as the tree term with "*" appended to the hole label.
+  std::string ToString(const Alphabet& alphabet) const;
+
+  friend bool operator==(const TreeContext& a, const TreeContext& b) {
+    return a.hole == b.hole && a.tree == b.tree;
+  }
+  friend bool operator<(const TreeContext& a, const TreeContext& b) {
+    if (a.tree != b.tree) return a.tree < b.tree;
+    return a.hole < b.hole;
+  }
+};
+
+}  // namespace stap
+
+#endif  // STAP_TREE_CONTEXT_H_

@@ -1,0 +1,79 @@
+#include "stap/tree/enumerate.h"
+
+#include <algorithm>
+
+#include "stap/base/check.h"
+
+namespace stap {
+
+namespace {
+
+// Enumerates trees of depth <= depth recursively: a tree is a root label
+// plus a (possibly empty) sequence of at most max_width subtrees of depth
+// <= depth - 1.
+std::vector<Tree> EnumerateDepth(int depth, const TreeBounds& bounds) {
+  std::vector<Tree> result;
+  if (depth <= 0) return result;
+  std::vector<Tree> shallower = EnumerateDepth(depth - 1, bounds);
+
+  // All child sequences of length 0..max_width over `shallower`.
+  std::vector<std::vector<Tree>> sequences = {{}};
+  std::vector<std::vector<Tree>> frontier = {{}};
+  for (int len = 1; len <= bounds.max_width; ++len) {
+    std::vector<std::vector<Tree>> next;
+    for (const std::vector<Tree>& prefix : frontier) {
+      for (const Tree& child : shallower) {
+        std::vector<Tree> extended = prefix;
+        extended.push_back(child);
+        next.push_back(extended);
+      }
+    }
+    sequences.insert(sequences.end(), next.begin(), next.end());
+    frontier = std::move(next);
+  }
+
+  for (int label = 0; label < bounds.num_symbols; ++label) {
+    for (const std::vector<Tree>& children : sequences) {
+      result.emplace_back(label, children);
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<Tree> EnumerateTrees(const TreeBounds& bounds) {
+  STAP_CHECK(bounds.max_depth >= 1);
+  STAP_CHECK(bounds.max_width >= 0);
+  STAP_CHECK(bounds.num_symbols >= 1);
+  std::vector<Tree> result = EnumerateDepth(bounds.max_depth, bounds);
+  std::sort(result.begin(), result.end(), [](const Tree& a, const Tree& b) {
+    int na = a.NumNodes(), nb = b.NumNodes();
+    if (na != nb) return na < nb;
+    return a < b;
+  });
+  return result;
+}
+
+int64_t CountTrees(const TreeBounds& bounds, int64_t cap) {
+  // count(d) = trees of depth <= d. count(0) = 0.
+  // sequences(d) = sum_{k=0..w} count(d)^k, saturating at cap.
+  int64_t count = 0;
+  for (int d = 1; d <= bounds.max_depth; ++d) {
+    int64_t sequences = 0;
+    int64_t power = 1;  // count^k
+    for (int k = 0; k <= bounds.max_width; ++k) {
+      sequences += power;
+      if (sequences >= cap) return cap;
+      if (k < bounds.max_width) {
+        if (count != 0 && power > cap / count) return cap;
+        power *= count;
+      }
+    }
+    int64_t next = static_cast<int64_t>(bounds.num_symbols) * sequences;
+    count = std::min(next, cap);
+  }
+  return std::min(count, cap);
+}
+
+}  // namespace stap

@@ -1,0 +1,31 @@
+// Bounded enumeration of Σ-trees.
+//
+// Used by property tests and by the finite-closure decision procedures:
+// enumerate every tree over an alphabet up to a depth and width bound, in a
+// deterministic order.
+#ifndef STAP_TREE_ENUMERATE_H_
+#define STAP_TREE_ENUMERATE_H_
+
+#include <vector>
+
+#include "stap/tree/tree.h"
+
+namespace stap {
+
+struct TreeBounds {
+  int max_depth = 3;   // paper's convention: single node has depth 1
+  int max_width = 2;   // max children per node
+  int num_symbols = 2;
+};
+
+// All trees within `bounds`, smallest first. The count grows doubly
+// exponentially; keep bounds tiny.
+std::vector<Tree> EnumerateTrees(const TreeBounds& bounds);
+
+// Number of trees EnumerateTrees would return (without materializing them),
+// capped at `cap`.
+int64_t CountTrees(const TreeBounds& bounds, int64_t cap);
+
+}  // namespace stap
+
+#endif  // STAP_TREE_ENUMERATE_H_

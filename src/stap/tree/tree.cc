@@ -1,0 +1,130 @@
+#include "stap/tree/tree.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+#include "stap/base/check.h"
+
+namespace stap {
+
+Tree Tree::Unary(const Word& word) {
+  STAP_CHECK(!word.empty());
+  Tree result(word.back());
+  for (int i = static_cast<int>(word.size()) - 2; i >= 0; --i) {
+    Tree parent(word[i]);
+    parent.children.push_back(std::move(result));
+    result = std::move(parent);
+  }
+  return result;
+}
+
+int Tree::NumNodes() const {
+  int count = 1;
+  for (const Tree& child : children) count += child.NumNodes();
+  return count;
+}
+
+int Tree::Depth() const {
+  int max_child = 0;
+  for (const Tree& child : children) {
+    max_child = std::max(max_child, child.Depth());
+  }
+  return 1 + max_child;
+}
+
+const Tree& Tree::At(const TreePath& path) const {
+  const Tree* node = this;
+  for (int index : path) {
+    STAP_CHECK(index >= 0 && index < static_cast<int>(node->children.size()));
+    node = &node->children[index];
+  }
+  return *node;
+}
+
+Tree& Tree::At(const TreePath& path) {
+  return const_cast<Tree&>(static_cast<const Tree*>(this)->At(path));
+}
+
+bool Tree::IsValidPath(const TreePath& path) const {
+  const Tree* node = this;
+  for (int index : path) {
+    if (index < 0 || index >= static_cast<int>(node->children.size())) {
+      return false;
+    }
+    node = &node->children[index];
+  }
+  return true;
+}
+
+Word Tree::ChildString(const TreePath& path) const {
+  const Tree& node = At(path);
+  Word labels;
+  labels.reserve(node.children.size());
+  for (const Tree& child : node.children) labels.push_back(child.label);
+  return labels;
+}
+
+Word Tree::AncestorString(const TreePath& path) const {
+  Word labels;
+  labels.reserve(path.size() + 1);
+  const Tree* node = this;
+  labels.push_back(node->label);
+  for (int index : path) {
+    STAP_CHECK(index >= 0 && index < static_cast<int>(node->children.size()));
+    node = &node->children[index];
+    labels.push_back(node->label);
+  }
+  return labels;
+}
+
+Tree Tree::ReplaceSubtree(const TreePath& path, const Tree& replacement) const {
+  if (path.empty()) return replacement;
+  Tree result = *this;
+  result.At(path) = replacement;
+  return result;
+}
+
+std::vector<TreePath> Tree::AllPaths() const {
+  std::vector<TreePath> paths;
+  std::deque<TreePath> queue = {TreePath{}};
+  while (!queue.empty()) {
+    TreePath path = std::move(queue.front());
+    queue.pop_front();
+    const Tree& node = At(path);
+    for (int i = 0; i < static_cast<int>(node.children.size()); ++i) {
+      TreePath child = path;
+      child.push_back(i);
+      queue.push_back(std::move(child));
+    }
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+std::string Tree::ToString(const Alphabet& alphabet) const {
+  std::ostringstream os;
+  os << alphabet.Name(label);
+  if (!children.empty()) {
+    os << "(";
+    for (size_t i = 0; i < children.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << children[i].ToString(alphabet);
+    }
+    os << ")";
+  }
+  return os.str();
+}
+
+bool AncestorStringsEqual(const Tree& t1, const TreePath& v1, const Tree& t2,
+                          const TreePath& v2) {
+  return t1.AncestorString(v1) == t2.AncestorString(v2);
+}
+
+Tree AncestorGuardedExchange(const Tree& t1, const TreePath& v1,
+                             const Tree& t2, const TreePath& v2) {
+  STAP_CHECK(AncestorStringsEqual(t1, v1, t2, v2));
+  return t1.ReplaceSubtree(v1, t2.At(v2));
+}
+
+}  // namespace stap

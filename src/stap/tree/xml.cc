@@ -1,0 +1,231 @@
+#include "stap/tree/xml.h"
+
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+namespace stap {
+
+namespace {
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+         c == '.' || c == ':';
+}
+
+class XmlParser {
+ public:
+  XmlParser(std::string_view input, bool allow_attributes)
+      : input_(input), allow_attributes_(allow_attributes) {}
+
+  StatusOr<XmlElement> Parse() {
+    SkipMisc();
+    StatusOr<XmlElement> root = ParseElement();
+    if (!root.ok()) return root;
+    SkipMisc();
+    if (pos_ != input_.size()) {
+      return Error("trailing content after root element");
+    }
+    return root;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return InvalidArgumentError("XML parse error at offset " +
+                                std::to_string(pos_) + ": " + message);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  // Skips whitespace, comments, processing instructions, and the XML
+  // declaration.
+  void SkipMisc() {
+    while (true) {
+      SkipWhitespace();
+      if (Peek("<!--")) {
+        size_t end = input_.find("-->", pos_ + 4);
+        pos_ = end == std::string_view::npos ? input_.size() : end + 3;
+      } else if (Peek("<?")) {
+        size_t end = input_.find("?>", pos_ + 2);
+        pos_ = end == std::string_view::npos ? input_.size() : end + 2;
+      } else {
+        return;
+      }
+    }
+  }
+
+  bool Peek(std::string_view token) const {
+    return input_.substr(pos_, token.size()) == token;
+  }
+
+  StatusOr<std::string> ParseName() {
+    if (pos_ >= input_.size() || !IsNameStart(input_[pos_])) {
+      return Error("expected name");
+    }
+    size_t start = pos_;
+    while (pos_ < input_.size() && IsNameChar(input_[pos_])) ++pos_;
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  StatusOr<XmlAttribute> ParseAttribute() {
+    StatusOr<std::string> name = ParseName();
+    if (!name.ok()) return name.status();
+    SkipWhitespace();
+    if (!Peek("=")) return Error("expected '=' after attribute name");
+    ++pos_;
+    SkipWhitespace();
+    if (pos_ >= input_.size() ||
+        (input_[pos_] != '"' && input_[pos_] != '\'')) {
+      return Error("expected quoted attribute value");
+    }
+    char quote = input_[pos_++];
+    size_t start = pos_;
+    while (pos_ < input_.size() && input_[pos_] != quote) ++pos_;
+    if (pos_ >= input_.size()) return Error("unterminated attribute value");
+    std::string value(input_.substr(start, pos_ - start));
+    ++pos_;  // closing quote
+    return XmlAttribute{*std::move(name), std::move(value)};
+  }
+
+  StatusOr<XmlElement> ParseElement() {
+    if (!Peek("<")) return Error("expected '<'");
+    ++pos_;
+    StatusOr<std::string> name = ParseName();
+    if (!name.ok()) return name.status();
+    XmlElement element;
+    element.name = *name;
+
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= input_.size()) return Error("unexpected end of tag");
+      if (input_[pos_] == '>' || Peek("/>")) break;
+      if (!allow_attributes_) {
+        return Error("attributes are not supported by the tree model");
+      }
+      StatusOr<XmlAttribute> attribute = ParseAttribute();
+      if (!attribute.ok()) return attribute.status();
+      element.attributes.push_back(*std::move(attribute));
+    }
+    if (Peek("/>")) {
+      pos_ += 2;
+      return element;
+    }
+    ++pos_;  // '>'
+
+    // Children until the closing tag.
+    while (true) {
+      SkipMisc();
+      if (pos_ >= input_.size()) return Error("unexpected end of input");
+      if (Peek("</")) break;
+      if (!Peek("<")) {
+        return Error("text content is not supported by the tree model");
+      }
+      StatusOr<XmlElement> child = ParseElement();
+      if (!child.ok()) return child;
+      element.children.push_back(*std::move(child));
+    }
+    pos_ += 2;  // "</"
+    StatusOr<std::string> closing = ParseName();
+    if (!closing.ok()) return closing.status();
+    if (*closing != element.name) {
+      return Error("mismatched closing tag </" + *closing + "> for <" +
+                   element.name + ">");
+    }
+    SkipWhitespace();
+    if (!Peek(">")) return Error("expected '>' after closing tag name");
+    ++pos_;
+    return element;
+  }
+
+  std::string_view input_;
+  bool allow_attributes_;
+  size_t pos_ = 0;
+};
+
+void SerializeElement(const XmlElement& element, int indent,
+                      std::ostringstream& os) {
+  for (int i = 0; i < indent; ++i) os << "  ";
+  os << "<" << element.name;
+  for (const XmlAttribute& attribute : element.attributes) {
+    os << " " << attribute.name << "=\"" << attribute.value << "\"";
+  }
+  if (element.children.empty()) {
+    os << "/>\n";
+    return;
+  }
+  os << ">\n";
+  for (const XmlElement& child : element.children) {
+    SerializeElement(child, indent + 1, os);
+  }
+  for (int i = 0; i < indent; ++i) os << "  ";
+  os << "</" << element.name << ">\n";
+}
+
+void SerializeTree(const Tree& tree, const Alphabet& alphabet, int indent,
+                   std::ostringstream& os) {
+  for (int i = 0; i < indent; ++i) os << "  ";
+  const std::string& name = alphabet.Name(tree.label);
+  if (tree.IsLeaf()) {
+    os << "<" << name << "/>\n";
+    return;
+  }
+  os << "<" << name << ">\n";
+  for (const Tree& child : tree.children) {
+    SerializeTree(child, alphabet, indent + 1, os);
+  }
+  for (int i = 0; i < indent; ++i) os << "  ";
+  os << "</" << name << ">\n";
+}
+
+}  // namespace
+
+const std::string* XmlElement::FindAttribute(
+    std::string_view attribute_name) const {
+  for (const XmlAttribute& attribute : attributes) {
+    if (attribute.name == attribute_name) return &attribute.value;
+  }
+  return nullptr;
+}
+
+StatusOr<XmlElement> ParseXmlDocument(std::string_view input) {
+  return XmlParser(input, /*allow_attributes=*/true).Parse();
+}
+
+std::string XmlElementToString(const XmlElement& element) {
+  std::ostringstream os;
+  SerializeElement(element, 0, os);
+  return os.str();
+}
+
+Tree TreeFromXmlElement(const XmlElement& element, Alphabet* alphabet) {
+  Tree tree(alphabet->Intern(element.name));
+  tree.children.reserve(element.children.size());
+  for (const XmlElement& child : element.children) {
+    tree.children.push_back(TreeFromXmlElement(child, alphabet));
+  }
+  return tree;
+}
+
+StatusOr<Tree> ParseXml(std::string_view input, Alphabet* alphabet) {
+  StatusOr<XmlElement> document =
+      XmlParser(input, /*allow_attributes=*/false).Parse();
+  if (!document.ok()) return document.status();
+  return TreeFromXmlElement(*document, alphabet);
+}
+
+std::string ToXml(const Tree& tree, const Alphabet& alphabet) {
+  std::ostringstream os;
+  SerializeTree(tree, alphabet, 0, os);
+  return os.str();
+}
+
+}  // namespace stap

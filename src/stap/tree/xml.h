@@ -1,0 +1,55 @@
+// Minimal XML reader and writer.
+//
+// Two levels of fidelity:
+//  * XmlElement — a small DOM with attributes (used by the W3C-style XSD
+//    import/export in schema/xsd_io.h);
+//  * Tree — the paper's element-only abstraction (labels only).
+// Text content, CDATA, entities, namespaces-as-semantics, and DOCTYPE are
+// outside the model and rejected with descriptive errors; comments,
+// processing instructions, and the XML declaration are skipped.
+#ifndef STAP_TREE_XML_H_
+#define STAP_TREE_XML_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stap/base/status.h"
+#include "stap/tree/tree.h"
+
+namespace stap {
+
+struct XmlAttribute {
+  std::string name;
+  std::string value;
+};
+
+struct XmlElement {
+  std::string name;
+  std::vector<XmlAttribute> attributes;
+  std::vector<XmlElement> children;
+
+  // The attribute's value, or nullptr if absent.
+  const std::string* FindAttribute(std::string_view attribute_name) const;
+};
+
+// Parses one XML document into a DOM (attributes allowed).
+StatusOr<XmlElement> ParseXmlDocument(std::string_view input);
+
+// Serializes a DOM with 2-space indentation.
+std::string XmlElementToString(const XmlElement& element);
+
+// Drops attributes and interns element names.
+Tree TreeFromXmlElement(const XmlElement& element, Alphabet* alphabet);
+
+// Parses one XML document into a tree; element names are interned into
+// `alphabet`. Attributes are rejected (the tree model has no place for
+// them); use ParseXmlDocument when they must be read.
+StatusOr<Tree> ParseXml(std::string_view input, Alphabet* alphabet);
+
+// Serializes with 2-space indentation and self-closing leaf tags.
+std::string ToXml(const Tree& tree, const Alphabet& alphabet);
+
+}  // namespace stap
+
+#endif  // STAP_TREE_XML_H_

@@ -1,0 +1,137 @@
+#include "stap/treeauto/encoding.h"
+
+#include <vector>
+
+#include "stap/base/check.h"
+
+namespace stap {
+
+namespace {
+
+Tree EncodeList(const std::vector<Tree>& children, size_t index,
+                int hash_symbol, int num_symbols);
+
+Tree EncodeNode(const Tree& tree, int hash_symbol, int num_symbols) {
+  STAP_CHECK(tree.label >= 0 && tree.label < num_symbols);
+  if (tree.children.empty()) return Tree(tree.label);
+  Tree result(tree.label);
+  result.children.push_back(
+      EncodeList(tree.children, 0, hash_symbol, num_symbols));
+  result.children.push_back(Tree(hash_symbol));
+  return result;
+}
+
+Tree EncodeList(const std::vector<Tree>& children, size_t index,
+                int hash_symbol, int num_symbols) {
+  if (index == children.size()) return Tree(hash_symbol);
+  Tree cell(hash_symbol);
+  cell.children.push_back(EncodeNode(children[index], hash_symbol, num_symbols));
+  cell.children.push_back(
+      EncodeList(children, index + 1, hash_symbol, num_symbols));
+  return cell;
+}
+
+StatusOr<Tree> DecodeNode(const Tree& binary, int hash_symbol);
+
+// Decodes a #-spine into a child list appended to `out`.
+Status DecodeList(const Tree& binary, int hash_symbol, std::vector<Tree>* out) {
+  if (binary.label != hash_symbol) {
+    return InvalidArgumentError("expected # list cell in binary encoding");
+  }
+  if (binary.children.empty()) return Status::Ok();  // L() = leaf #
+  if (binary.children.size() != 2) {
+    return InvalidArgumentError("list cell must have exactly two children");
+  }
+  StatusOr<Tree> head = DecodeNode(binary.children[0], hash_symbol);
+  if (!head.ok()) return head.status();
+  out->push_back(*std::move(head));
+  return DecodeList(binary.children[1], hash_symbol, out);
+}
+
+StatusOr<Tree> DecodeNode(const Tree& binary, int hash_symbol) {
+  if (binary.label == hash_symbol) {
+    return InvalidArgumentError("unexpected # where Σ node expected");
+  }
+  if (binary.children.empty()) return Tree(binary.label);
+  if (binary.children.size() != 2 || !binary.children[1].IsLeaf() ||
+      binary.children[1].label != hash_symbol) {
+    return InvalidArgumentError("malformed Σ node in binary encoding");
+  }
+  Tree result(binary.label);
+  STAP_RETURN_IF_ERROR(
+      DecodeList(binary.children[0], hash_symbol, &result.children));
+  if (result.children.empty()) {
+    return InvalidArgumentError("Σ node with empty child list must be a leaf");
+  }
+  return result;
+}
+
+}  // namespace
+
+Tree EncodeBinary(const Tree& tree, int num_symbols) {
+  return EncodeNode(tree, HashSymbol(num_symbols), num_symbols);
+}
+
+StatusOr<Tree> DecodeBinary(const Tree& binary, int num_symbols) {
+  return DecodeNode(binary, HashSymbol(num_symbols));
+}
+
+Bta BtaFromEdtd(const Edtd& edtd) {
+  const int num_symbols = edtd.num_symbols();
+  const int hash = HashSymbol(num_symbols);
+  const int num_types = edtd.num_types();
+
+  // States:
+  //   0 .. num_types-1                 : "subtree has type τ"
+  //   end_state                        : the # leaf closing a Σ node
+  //   list_base[τ] + q                 : "#-list drives content[τ] from q
+  //                                      to acceptance"
+  std::vector<int> list_base(num_types);
+  int next = num_types;
+  const int end_state = next++;
+  for (int tau = 0; tau < num_types; ++tau) {
+    list_base[tau] = next;
+    next += edtd.content[tau].num_states();
+  }
+  Bta bta(next, num_symbols + 1);
+
+  for (int tau : edtd.start_types) bta.SetFinal(tau);
+
+  // Leaf a -> τ when μ(τ)=a and ε ∈ d(τ).
+  for (int tau = 0; tau < num_types; ++tau) {
+    if (edtd.content[tau].num_states() > 0 &&
+        edtd.content[tau].AcceptsEpsilon()) {
+      bta.AddLeafTransition(edtd.mu[tau], tau);
+    }
+  }
+  // Leaf # -> end, and -> (τ, q) for accepting q (empty suffix).
+  bta.AddLeafTransition(hash, end_state);
+  for (int tau = 0; tau < num_types; ++tau) {
+    const Dfa& dfa = edtd.content[tau];
+    for (int q = 0; q < dfa.num_states(); ++q) {
+      if (dfa.IsFinal(q)) bta.AddLeafTransition(hash, list_base[tau] + q);
+    }
+  }
+  // #( type τ', list (τ, q') ) -> (τ, q) when δ_d(τ)(q, τ') = q'.
+  for (int tau = 0; tau < num_types; ++tau) {
+    const Dfa& dfa = edtd.content[tau];
+    for (int q = 0; q < dfa.num_states(); ++q) {
+      for (int tp = 0; tp < num_types; ++tp) {
+        int qp = dfa.Next(q, tp);
+        if (qp == kNoState) continue;
+        bta.AddInternalTransition(hash, tp, list_base[tau] + qp,
+                                  list_base[tau] + q);
+      }
+    }
+  }
+  // a( list (τ, q0), end ) -> τ when μ(τ)=a.
+  for (int tau = 0; tau < num_types; ++tau) {
+    const Dfa& dfa = edtd.content[tau];
+    if (dfa.num_states() == 0) continue;
+    bta.AddInternalTransition(edtd.mu[tau], list_base[tau] + dfa.initial(),
+                              end_state, tau);
+  }
+  return bta;
+}
+
+}  // namespace stap

@@ -1,0 +1,36 @@
+// Binary encoding of unranked trees (paper, Figure 3).
+//
+// enc(a)            = leaf a
+// enc(a(t1,..,tn))  = a( L(t1..tn), # )      n >= 1
+// L(ti..tn)         = #( enc(ti), L(t(i+1)..tn) ),  L() = leaf #
+//
+// where # is a fresh symbol appended to Σ. As in the paper's encoding,
+// every binary subtree rooted at a Σ-label is the encoding of an unranked
+// subtree, which is what lets ancestor-type-guarded exchange transfer
+// between the two worlds.
+#ifndef STAP_TREEAUTO_ENCODING_H_
+#define STAP_TREEAUTO_ENCODING_H_
+
+#include "stap/base/status.h"
+#include "stap/schema/edtd.h"
+#include "stap/tree/tree.h"
+#include "stap/treeauto/bta.h"
+
+namespace stap {
+
+// The id of # for an unranked alphabet of `num_symbols` symbols.
+inline int HashSymbol(int num_symbols) { return num_symbols; }
+
+// Encodes an unranked tree into its binary form (alphabet Σ ∪ {#}).
+Tree EncodeBinary(const Tree& tree, int num_symbols);
+
+// Decodes; fails on trees not in the image of EncodeBinary.
+StatusOr<Tree> DecodeBinary(const Tree& binary, int num_symbols);
+
+// A binary tree automaton over Σ ∪ {#} accepting exactly
+// { EncodeBinary(t) : t ∈ L(edtd) }. Size is polynomial in |edtd|.
+Bta BtaFromEdtd(const Edtd& edtd);
+
+}  // namespace stap
+
+#endif  // STAP_TREEAUTO_ENCODING_H_

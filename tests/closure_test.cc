@@ -1,0 +1,177 @@
+// Unit tests for exchange closures and derivation trees
+// (Definitions 2.14–2.16, Lemma 2.17).
+#include <gtest/gtest.h>
+
+#include "stap/approx/closure.h"
+#include "stap/approx/lower_check.h"
+#include "stap/tree/tree.h"
+
+namespace stap {
+namespace {
+
+// Labels: a=0, b=1.
+TEST(ClosureTest, SeedsOnlyWhenNoGuardMatches) {
+  // Two trees with no common ancestor strings beyond the roots of equal
+  // label... here roots differ, nothing exchanges.
+  ClosureResult result = CloseUnderExchange({Tree(0), Tree(1)});
+  EXPECT_TRUE(result.saturated);
+  EXPECT_EQ(result.trees.size(), 2u);
+  EXPECT_EQ(result.seed_count, 2);
+}
+
+TEST(ClosureTest, RootExchangeMergesLanguages) {
+  // Equal root labels allow exchanging the whole trees (anc-str = "a"),
+  // which yields nothing new; but equal deeper guards do.
+  Tree t1(0, {Tree(0, {Tree(1)})});  // a(a(b))
+  Tree t2(0, {Tree(0)});             // a(a)
+  ClosureResult result = CloseUnderExchange({t1, t2});
+  // Exchange at path {0} (anc-str a·a both): a(a(b)) <-> a(a) swaps the
+  // subtrees, reproducing the seeds; nothing new appears.
+  EXPECT_TRUE(result.saturated);
+  EXPECT_EQ(result.trees.size(), 2u);
+}
+
+TEST(ClosureTest, GeneratesTheClassicCounterexample) {
+  // The standard witness that ST-REG is not closed under union:
+  // t1 = a(b(c), b(d))-style... here: r(x(a)) and r(x(b)) with sibling
+  // structure r(x(a), x(b)). Exchange creates mixed variants.
+  // Labels: r=0, x=1, a=2, b=3.
+  Tree t1(0, {Tree(1, {Tree(2)}), Tree(1, {Tree(2)})});
+  Tree t2(0, {Tree(1, {Tree(3)}), Tree(1, {Tree(3)})});
+  ClosureResult result = CloseUnderExchange({t1, t2});
+  EXPECT_TRUE(result.saturated);
+  Tree mixed(0, {Tree(1, {Tree(2)}), Tree(1, {Tree(3)})});
+  EXPECT_TRUE(result.Contains(mixed));
+  Tree mixed_rev(0, {Tree(1, {Tree(3)}), Tree(1, {Tree(2)})});
+  EXPECT_TRUE(result.Contains(mixed_rev));
+  EXPECT_EQ(result.trees.size(), 4u);
+}
+
+TEST(ClosureTest, StringGuardedClosuresOfFiniteSetsAreFinite) {
+  // Ancestor-string guards pin every exchange position to a fixed depth,
+  // so depth and rank never exceed the seeds': the closure of a finite
+  // set always saturates. Here closure({a, a(a)}) is just the seeds.
+  ClosureResult result =
+      CloseUnderExchange({Tree(0), Tree(0, {Tree(0)})});
+  EXPECT_TRUE(result.saturated);
+  EXPECT_EQ(result.trees.size(), 2u);
+}
+
+TEST(ClosureTest, CapStopsInfiniteTypeGuardedClosures) {
+  // Under a coarser (1-state) guard the same seeds pump unboundedly:
+  // chains of every length appear, and the cap must intervene.
+  ClosureOptions options;
+  options.max_trees = 20;
+  ClosureResult result = CloseUnderTypeGuardedExchange(
+      {Tree(0), Tree(0, {Tree(0)})}, Dfa::AllWords(1), options);
+  EXPECT_FALSE(result.saturated);
+  EXPECT_EQ(result.trees.size(), 20u);
+}
+
+TEST(ClosureTest, NodeBoundKeepsFixpointFinite) {
+  ClosureOptions options;
+  options.max_nodes = 4;
+  ClosureResult result = CloseUnderTypeGuardedExchange(
+      {Tree(0), Tree(0, {Tree(0)})}, Dfa::AllWords(1), options);
+  EXPECT_TRUE(result.saturated);
+  for (const Tree& tree : result.trees) {
+    EXPECT_LE(tree.NumNodes(), 4);
+  }
+  // Chains of length 1..4 are all reachable.
+  EXPECT_EQ(result.trees.size(), 4u);
+}
+
+TEST(ClosureTest, DerivationTreesWitnessMembership) {
+  Tree t1(0, {Tree(1, {Tree(2)}), Tree(1, {Tree(2)})});
+  Tree t2(0, {Tree(1, {Tree(3)}), Tree(1, {Tree(3)})});
+  ClosureResult result = CloseUnderExchange({t1, t2});
+  Tree mixed(0, {Tree(1, {Tree(2)}), Tree(1, {Tree(3)})});
+  int index = -1;
+  for (size_t i = 0; i < result.trees.size(); ++i) {
+    if (result.trees[i] == mixed) index = static_cast<int>(i);
+  }
+  ASSERT_GE(index, 0);
+  DerivationTree derivation = BuildDerivation(result, index);
+  EXPECT_EQ(derivation.value, mixed);
+  EXPECT_GE(derivation.Height(), 2);
+  EXPECT_EQ(derivation.NumLeaves(), 2);
+  // Leaves are seeds.
+  const DerivationTree* leaf = derivation.left.get();
+  while (leaf->left != nullptr) leaf = leaf->left.get();
+  EXPECT_TRUE(leaf->value == t1 || leaf->value == t2);
+}
+
+TEST(ClosureTest, SeedsHaveSingletonDerivations) {
+  ClosureResult result = CloseUnderExchange({Tree(0)});
+  DerivationTree derivation = BuildDerivation(result, 0);
+  EXPECT_EQ(derivation.Height(), 1);
+  EXPECT_EQ(derivation.NumLeaves(), 1);
+}
+
+TEST(TypeGuardedClosureTest, CoarserGuardExchangesMore) {
+  // t1 = a(a(b)), t2 = a(b): under ancestor-string guard the b-nodes
+  // (anc-str a·a·b vs a·b) cannot exchange; under a 1-state guard DFA
+  // (all strings equivalent) label-equality alone suffices.
+  Tree t1(0, {Tree(0, {Tree(1)})});
+  Tree t2(0, {Tree(1)});
+  ClosureResult strict = CloseUnderExchange({t1, t2});
+  // a-guarded: roots exchange trivially; a·a node in t1 has no partner.
+  EXPECT_EQ(strict.trees.size(), 2u);
+
+  Dfa trivial_guard = Dfa::AllWords(2);
+  ClosureOptions options;
+  options.max_trees = 50;
+  options.max_nodes = 12;  // exchanged trees double in size otherwise
+  ClosureResult loose =
+      CloseUnderTypeGuardedExchange({t1, t2}, trivial_guard, options);
+  // Now the inner a of t1 (guard state equal, label a) exchanges with
+  // both roots: plugging t1 into its own a-leaf position grows chains
+  // like a(a(a(b))) that the string guard forbids.
+  EXPECT_GT(loose.trees.size(), 2u);
+  Tree grown(0, {Tree(0, {Tree(0, {Tree(1)})})});
+  EXPECT_TRUE(loose.Contains(grown));
+}
+
+TEST(TypeGuardedClosureTest, NkGuardEqualsStringGuardOnShallowTrees) {
+  Dfa nk = NkAutomaton(3, 2);
+  Tree t1(0, {Tree(1), Tree(0, {Tree(1)})});
+  Tree t2(0, {Tree(0, {Tree(0)})});
+  ClosureResult by_string = CloseUnderExchange({t1, t2});
+  ClosureResult by_nk = CloseUnderTypeGuardedExchange({t1, t2}, nk);
+  ASSERT_TRUE(by_string.saturated);
+  ASSERT_TRUE(by_nk.saturated);
+  EXPECT_EQ(by_string.trees.size(), by_nk.trees.size());
+  for (const Tree& tree : by_string.trees) {
+    EXPECT_TRUE(by_nk.Contains(tree));
+  }
+}
+
+TEST(NkAutomatonTest, SeparatesShortStrings) {
+  Dfa nk = NkAutomaton(2, 2);
+  // All strings of length <= 2 land in distinct states.
+  std::vector<Word> words = {{}, {0}, {1}, {0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  for (size_t i = 0; i < words.size(); ++i) {
+    for (size_t j = i + 1; j < words.size(); ++j) {
+      EXPECT_NE(nk.Run(nk.initial(), words[i]),
+                nk.Run(nk.initial(), words[j]));
+    }
+  }
+  // Longer strings collapse into the overflow state.
+  EXPECT_EQ(nk.Run(nk.initial(), {0, 0, 0}), nk.Run(nk.initial(), {1, 1, 1}));
+}
+
+TEST(FindEscapeTest, LocatesMembersOutsideAPredicate) {
+  Tree t1(0, {Tree(1, {Tree(2)}), Tree(1, {Tree(2)})});
+  Tree t2(0, {Tree(1, {Tree(3)}), Tree(1, {Tree(3)})});
+  ClosureResult result = CloseUnderExchange({t1, t2});
+  auto homogeneous = [&](const Tree& tree) {
+    int first = tree.At({0, 0}).label;
+    return tree.At({1, 0}).label != first;  // escapes when mixed
+  };
+  std::optional<Tree> escape = FindEscape(result, homogeneous);
+  ASSERT_TRUE(escape.has_value());
+  EXPECT_NE(escape->At({0, 0}).label, escape->At({1, 0}).label);
+}
+
+}  // namespace
+}  // namespace stap

@@ -1,0 +1,108 @@
+// Tests for Lemma 4.18 / Figure 2: partitioning generalized contexts
+// into contexts and forks.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "stap/approx/decompose.h"
+#include "stap/tree/enumerate.h"
+
+namespace stap {
+namespace {
+
+// A complete binary tree of the given depth over one label.
+Tree CompleteBinary(int depth) {
+  if (depth == 1) return Tree(0);
+  return Tree(0, {CompleteBinary(depth - 1), CompleteBinary(depth - 1)});
+}
+
+TEST(DecomposeTest, SingleHoleIsOneContext) {
+  GeneralizedContext input =
+      GeneralizedContext::Make(CompleteBinary(3), {{0, 1}});
+  DecompositionNode decomposition = Decompose(input);
+  EXPECT_EQ(decomposition.NumContexts(), 1);
+  EXPECT_EQ(decomposition.NumForks(), 0);
+  GeneralizedContext back = Reassemble(decomposition);
+  EXPECT_EQ(back.tree, input.tree);
+  EXPECT_EQ(back.holes, input.holes);
+}
+
+TEST(DecomposeTest, TwoHolesNeedOneFork) {
+  // Holes in both halves force a fork at the root.
+  GeneralizedContext input =
+      GeneralizedContext::Make(CompleteBinary(3), {{0, 0}, {1, 1}});
+  DecompositionNode decomposition = Decompose(input);
+  EXPECT_EQ(decomposition.NumForks(), 1);
+  EXPECT_EQ(decomposition.NumContexts(), 3);  // above + two below
+  GeneralizedContext back = Reassemble(decomposition);
+  EXPECT_EQ(back.tree, input.tree);
+  EXPECT_EQ(back.holes, input.holes);
+}
+
+TEST(DecomposeTest, KHolesNeedKMinusOneForks) {
+  // A generalized context with k holes always has exactly k - 1 forks
+  // and k contexts... (each fork splits one strand into two; terminal
+  // strands end in the original holes).
+  Tree tree = CompleteBinary(4);
+  std::vector<TreePath> holes = {{0, 0, 0}, {0, 1, 0}, {1, 0, 1}, {1, 1, 1}};
+  GeneralizedContext input = GeneralizedContext::Make(tree, holes);
+  DecompositionNode decomposition = Decompose(input);
+  EXPECT_EQ(decomposition.NumForks(), 3);
+  EXPECT_EQ(decomposition.NumContexts(),
+            static_cast<int>(holes.size()) + 3);
+  GeneralizedContext back = Reassemble(decomposition);
+  EXPECT_EQ(back.tree, input.tree);
+  EXPECT_EQ(back.holes, input.holes);
+}
+
+TEST(DecomposeTest, HoleAtTheRootOfAPiece) {
+  // The fork's child can itself be an immediate hole: the context piece
+  // degenerates to a single hole node.
+  Tree tree(0, {Tree(1), Tree(2)});
+  GeneralizedContext input = GeneralizedContext::Make(tree, {{0}, {1}});
+  DecompositionNode decomposition = Decompose(input);
+  EXPECT_EQ(decomposition.NumForks(), 1);
+  GeneralizedContext back = Reassemble(decomposition);
+  EXPECT_EQ(back.tree, input.tree);
+  EXPECT_EQ(back.holes, input.holes);
+}
+
+// Property sweep: random binary trees, random hole subsets — the
+// decomposition always reassembles, and forks = holes - 1.
+class DecomposeRandomTest : public ::testing::TestWithParam<int> {};
+
+Tree RandomBinary(std::mt19937* rng, int depth) {
+  if (depth <= 1 || (*rng)() % 3 == 0) {
+    return Tree(static_cast<int>((*rng)() % 3));
+  }
+  return Tree(static_cast<int>((*rng)() % 3),
+              {RandomBinary(rng, depth - 1), RandomBinary(rng, depth - 1)});
+}
+
+TEST_P(DecomposeRandomTest, ReassemblesExactly) {
+  std::mt19937 rng(GetParam() * 887 + 3);
+  Tree tree = RandomBinary(&rng, 5);
+  // Collect the leaves; pick a random non-empty subset as holes.
+  std::vector<TreePath> leaves;
+  for (const TreePath& path : tree.AllPaths()) {
+    if (tree.At(path).IsLeaf()) leaves.push_back(path);
+  }
+  std::vector<TreePath> holes;
+  for (const TreePath& leaf : leaves) {
+    if (rng() % 2 == 0) holes.push_back(leaf);
+  }
+  if (holes.empty()) holes.push_back(leaves[0]);
+
+  GeneralizedContext input = GeneralizedContext::Make(tree, holes);
+  DecompositionNode decomposition = Decompose(input);
+  EXPECT_EQ(decomposition.NumForks(),
+            static_cast<int>(input.holes.size()) - 1);
+  GeneralizedContext back = Reassemble(decomposition);
+  EXPECT_EQ(back.tree, input.tree);
+  EXPECT_EQ(back.holes, input.holes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecomposeRandomTest, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace stap

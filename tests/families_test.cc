@@ -1,0 +1,194 @@
+// Tests for the paper's lower-bound families (gen/families.h): languages
+// are what the proofs describe, and the non-uniqueness phenomena of
+// Theorems 4.3 / 4.11 reproduce.
+#include <gtest/gtest.h>
+
+#include "stap/approx/closure.h"
+#include "stap/approx/inclusion.h"
+#include "stap/approx/upper_boolean.h"
+#include "stap/gen/families.h"
+#include "stap/regex/parser.h"
+#include "stap/schema/reduce.h"
+#include "stap/schema/single_type.h"
+#include "stap/schema/type_automaton.h"
+#include "stap/tree/enumerate.h"
+
+namespace stap {
+namespace {
+
+int CountLabel(const Tree& tree, int label) {
+  int count = tree.label == label ? 1 : 0;
+  for (const Tree& child : tree.children) count += CountLabel(child, label);
+  return count;
+}
+
+TEST(UnaryEdtdTest, WordsBecomeChains) {
+  Alphabet sigma({"a", "b"});
+  StatusOr<RegexPtr> regex = ParseRegex("a b* a", &sigma, false);
+  ASSERT_TRUE(regex.ok());
+  Edtd edtd = UnaryEdtdFromRegex(**regex, sigma);
+  EXPECT_TRUE(edtd.Accepts(Tree::Unary({0, 0})));
+  EXPECT_TRUE(edtd.Accepts(Tree::Unary({0, 1, 1, 0})));
+  EXPECT_FALSE(edtd.Accepts(Tree::Unary({0, 1})));
+  EXPECT_FALSE(edtd.Accepts(Tree(0, {Tree(0), Tree(0)})));  // branching
+}
+
+TEST(Theorem32FamilyTest, LanguageMatchesTheRegex) {
+  const int n = 2;
+  Edtd edtd = Theorem32Family(n);
+  int a = edtd.sigma.Find("a");
+  for (const Tree& tree : EnumerateTrees({5, 1, 2})) {
+    // Unary chains only; member iff symbol n+1 from the end is a.
+    Word word = tree.AncestorString(
+        TreePath(static_cast<size_t>(tree.Depth() - 1), 0));
+    bool expected = tree.Depth() >= n + 1 &&
+                    word[word.size() - 1 - n] == a;
+    EXPECT_EQ(edtd.Accepts(tree), expected) << tree.ToString(edtd.sigma);
+  }
+}
+
+TEST(Theorem36FamilyTest, CountsHeavyLabels) {
+  const int n = 2;
+  auto [d1, d2] = Theorem36Family(n);
+  int a = d1.sigma.Find("a");
+  int b = d2.sigma.Find("b");
+  for (const Tree& tree : EnumerateTrees({4, 1, 2})) {
+    EXPECT_EQ(d1.Accepts(tree), CountLabel(tree, a) <= n)
+        << tree.ToString(d1.sigma);
+    EXPECT_EQ(d2.Accepts(tree), CountLabel(tree, b) <= n)
+        << tree.ToString(d2.sigma);
+  }
+  EXPECT_TRUE(IsSingleType(d1));
+  EXPECT_TRUE(IsSingleType(d2));
+}
+
+TEST(Theorem38FamilyTest, ChainsOfPrimePeriod) {
+  auto [d1, d2] = Theorem38Family(2);  // p1 = 3, p2 = 5
+  EXPECT_EQ(ReduceEdtd(d1).num_types(), 3);
+  EXPECT_EQ(ReduceEdtd(d2).num_types(), 5);
+  EXPECT_TRUE(d1.Accepts(Tree::Unary(Word(3, 0))));
+  EXPECT_TRUE(d1.Accepts(Tree::Unary(Word(6, 0))));
+  EXPECT_FALSE(d1.Accepts(Tree::Unary(Word(4, 0))));
+  EXPECT_TRUE(d2.Accepts(Tree::Unary(Word(5, 0))));
+  EXPECT_FALSE(d2.Accepts(Tree::Unary(Word(3, 0))));
+}
+
+TEST(Theorem43FamilyTest, SchemasAndTheXnLadder) {
+  auto [d1, d2] = Theorem43Schemas();
+  int a = d1.sigma.Find("a"), b = d1.sigma.Find("b");
+  // D1: chains a^m b, m >= 1.
+  EXPECT_TRUE(d1.Accepts(Tree(a, {Tree(b)})));
+  EXPECT_TRUE(d1.Accepts(Tree::Unary({a, a, a, b})));
+  EXPECT_FALSE(d1.Accepts(Tree(b)));
+  EXPECT_FALSE(d1.Accepts(Tree(a)));
+  // D2: a-trees of rank <= 2.
+  int a2 = d2.sigma.Find("a");
+  EXPECT_TRUE(d2.Accepts(Tree(a2)));
+  EXPECT_TRUE(d2.Accepts(Tree(a2, {Tree(a2), Tree(a2)})));
+  EXPECT_FALSE(d2.Accepts(
+      Tree(a2, {Tree(a2), Tree(a2), Tree(a2)})));
+
+  // X_n: single-type lower bounds of the union, pairwise distinct
+  // (L(X_n) ∩ L(D1) = { a^m b : m <= n }).
+  for (int n = 1; n <= 3; ++n) {
+    Edtd xn = Theorem43LowerApproximation(n);
+    EXPECT_TRUE(IsSingleType(xn));
+    int xa = xn.sigma.Find("a"), xb = xn.sigma.Find("b");
+    Word chain(static_cast<size_t>(n), xa);
+    chain.push_back(xb);
+    EXPECT_TRUE(xn.Accepts(Tree::Unary(chain))) << "n=" << n;
+    Word too_long(static_cast<size_t>(n + 1), xa);
+    too_long.push_back(xb);
+    EXPECT_FALSE(xn.Accepts(Tree::Unary(too_long))) << "n=" << n;
+  }
+}
+
+TEST(Theorem43FamilyTest, XnIsALowerBoundOfTheUnion) {
+  auto [d1, d2] = Theorem43Schemas();
+  for (int n = 1; n <= 3; ++n) {
+    Edtd xn = Theorem43LowerApproximation(n);
+    auto [x, u1] = AlignAlphabets(xn, d1);
+    auto [unused, u2] = AlignAlphabets(xn, d2);
+    (void)unused;
+    for (const Tree& tree : EnumerateTrees({4, 2, 2})) {
+      if (x.Accepts(tree)) {
+        EXPECT_TRUE(u1.Accepts(tree) || u2.Accepts(tree))
+            << "n=" << n << " " << tree.ToString(x.sigma);
+      }
+    }
+  }
+}
+
+TEST(Theorem43FamilyTest, ExtendingXnEscapesTheUnion) {
+  // The proof's argument: for any tree t in the union but outside X_n,
+  // closure(L(X_n) ∪ {t}) leaves the union. Reproduce with the proof's
+  // witness t = a^(n+1) b against the member a^n(a, a).
+  const int n = 2;
+  auto [d1, d2] = Theorem43Schemas();
+  Edtd xn = Theorem43LowerApproximation(n);
+  int a = xn.sigma.Find("a"), b = xn.sigma.Find("b");
+
+  Word deep_chain(static_cast<size_t>(n + 1), a);
+  deep_chain.push_back(b);
+  Tree t = Tree::Unary(deep_chain);  // in L(D1), not in L(X_n)
+  ASSERT_TRUE(AlignAlphabets(d1, xn).first.Accepts(t));
+  ASSERT_FALSE(xn.Accepts(t));
+
+  // a^n(a, a) ∈ L(X_n).
+  Tree branching = Tree(a, {Tree(a), Tree(a)});
+  for (int i = 1; i < n; ++i) branching = Tree(a, {branching});
+  ASSERT_TRUE(xn.Accepts(branching));
+
+  ClosureResult closure = CloseUnderExchange({t, branching});
+  ASSERT_TRUE(closure.saturated);
+  Edtd u1 = AlignAlphabets(xn, d1).second;
+  Edtd u2 = AlignAlphabets(xn, d2).second;
+  std::optional<Tree> escape = FindEscape(closure, [&](const Tree& tree) {
+    return !u1.Accepts(tree) && !u2.Accepts(tree);
+  });
+  EXPECT_TRUE(escape.has_value());
+}
+
+TEST(Theorem411FamilyTest, LadderOfLowerApproximations) {
+  Edtd dtd = Theorem411Dtd();
+  int a = dtd.sigma.Find("a");
+  // Complement membership = "some node has >= 2 children".
+  auto in_complement = [&](const Tree& tree) {
+    return !dtd.Accepts(tree);
+  };
+  for (int n = 1; n <= 3; ++n) {
+    Edtd xn = Theorem411LowerApproximation(n);
+    EXPECT_TRUE(IsSingleType(xn));
+    // Every member branches somewhere (lower bound of the complement).
+    for (const Tree& tree : EnumerateTrees({4, 2, 1})) {
+      if (xn.Accepts(tree)) {
+        EXPECT_TRUE(in_complement(tree)) << "n=" << n;
+      }
+    }
+    // Distinctness witness t_{n+1} = chain of depth n with (a, a) at the
+    // bottom: accepted by X_n only.
+    Tree witness(a, {Tree(a), Tree(a)});
+    for (int i = 1; i < n; ++i) witness = Tree(a, {witness});
+    EXPECT_TRUE(xn.Accepts(witness)) << "n=" << n;
+    if (n >= 2) {
+      EXPECT_FALSE(
+          Theorem411LowerApproximation(n - 1).Accepts(witness));
+    }
+  }
+}
+
+TEST(Example26Test, MatchesThePaper) {
+  Edtd edtd = Example26Edtd();
+  EXPECT_EQ(edtd.num_types(), 3);
+  EXPECT_EQ(edtd.start_types.size(), 1u);
+  int a = edtd.sigma.Find("a"), b = edtd.sigma.Find("b");
+  // τ1 -> τ1 + τ2¹: an a-chain ending in b(b...(b)).
+  EXPECT_TRUE(edtd.Accepts(Tree::Unary({a, a, b})));
+  EXPECT_TRUE(edtd.Accepts(Tree::Unary({a, b, b, b})));
+  EXPECT_TRUE(edtd.Accepts(Tree::Unary({a, b, b, a, b})));
+  EXPECT_FALSE(edtd.Accepts(Tree(a)));
+  EXPECT_FALSE(edtd.Accepts(Tree(b)));
+}
+
+}  // namespace
+}  // namespace stap

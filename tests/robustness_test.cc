@@ -1,0 +1,91 @@
+// Robustness tests: parsers and renderers must reject malformed input
+// with Status errors (never crash), and renderer output must stay
+// re-parseable under mutation-free round trips.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+#include "stap/automata/dot.h"
+#include "stap/regex/parser.h"
+#include "stap/schema/dtd_io.h"
+#include "stap/schema/nfa_schema.h"
+#include "stap/schema/text_format.h"
+#include "stap/schema/xsd_io.h"
+#include "stap/tree/xml.h"
+
+namespace stap {
+namespace {
+
+// Deterministic pseudo-random printable garbage.
+std::string Garbage(std::mt19937* rng, int length) {
+  static constexpr char kChars[] =
+      "<>/=\"' \n\tabcxyz%~|()*+?#!ELEMENT:->startype";
+  std::string result;
+  for (int i = 0; i < length; ++i) {
+    result += kChars[(*rng)() % (sizeof(kChars) - 1)];
+  }
+  return result;
+}
+
+class FuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzTest, ParsersNeverCrashOnGarbage) {
+  std::mt19937 rng(GetParam() * 2246822519u + 3266489917u);
+  for (int round = 0; round < 50; ++round) {
+    std::string input = Garbage(&rng, 1 + static_cast<int>(rng() % 120));
+    Alphabet alphabet;
+    (void)ParseXml(input, &alphabet);
+    (void)ParseXmlDocument(input);
+    (void)ParseSchema(input);
+    (void)ParseSchemaNfa(input);
+    (void)ParseDtd(input);
+    (void)ImportXsd(input);
+    Alphabet regex_alphabet;
+    (void)ParseRegex(input, &regex_alphabet);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range(0, 10));
+
+TEST(FuzzTest, TruncationsOfValidInputsFailCleanly) {
+  const std::string schema =
+      "start Lib\n"
+      "type Lib : library -> Book*\n"
+      "type Book : book -> %\n";
+  for (size_t cut = 0; cut < schema.size(); ++cut) {
+    (void)ParseSchema(schema.substr(0, cut));  // must not crash
+  }
+  const std::string xml = "<a x=\"1\"><b/><c/></a>";
+  for (size_t cut = 0; cut < xml.size(); ++cut) {
+    (void)ParseXmlDocument(xml.substr(0, cut));
+  }
+  const std::string dtd = "<!ELEMENT a (b | c)*><!ELEMENT b EMPTY>"
+                          "<!ELEMENT c EMPTY>";
+  for (size_t cut = 0; cut < dtd.size(); ++cut) {
+    (void)ParseDtd(dtd.substr(0, cut));
+  }
+}
+
+TEST(DotTest, RendersDfaAndNfa) {
+  Alphabet alphabet({"a", "b"});
+  Dfa dfa(2, 2);
+  dfa.SetTransition(0, 0, 1);
+  dfa.SetTransition(1, 1, 1);
+  dfa.SetFinal(1);
+  std::string dot = DfaToDot(dfa, &alphabet);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("q0 -> q1 [label=\"a\"]"), std::string::npos);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);
+
+  Nfa nfa(2, 2);
+  nfa.AddInitial(0);
+  nfa.AddTransition(0, 1, 0);
+  nfa.AddTransition(0, 1, 1);
+  nfa.SetFinal(1);
+  std::string nfa_dot = NfaToDot(nfa);  // raw symbol ids
+  EXPECT_NE(nfa_dot.find("q0 -> q1 [label=\"1\"]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stap

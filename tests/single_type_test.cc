@@ -1,0 +1,122 @@
+// Unit tests for DFA-based XSDs: Proposition 2.9 conversions and one-pass
+// validation.
+#include <gtest/gtest.h>
+
+#include "stap/gen/families.h"
+#include "stap/schema/builder.h"
+#include "stap/schema/reduce.h"
+#include "stap/schema/single_type.h"
+#include "stap/schema/type_automaton.h"
+#include "stap/schema/validate.h"
+#include "stap/tree/enumerate.h"
+
+namespace stap {
+namespace {
+
+Edtd LibrarySchema() {
+  SchemaBuilder builder;
+  builder.AddType("Lib", "library", "Book*");
+  builder.AddType("Book", "book", "Title Chapter+");
+  builder.AddType("Title", "title", "%");
+  builder.AddType("Chapter", "chapter", "Section*");
+  builder.AddType("Section", "section", "%");
+  builder.AddStart("Lib");
+  return builder.Build();
+}
+
+TEST(DfaXsdTest, ConversionRoundTripPreservesLanguage) {
+  Edtd edtd = ReduceEdtd(LibrarySchema());
+  ASSERT_TRUE(IsSingleType(edtd));
+  DfaXsd xsd = DfaXsdFromStEdtd(edtd);
+  Edtd back = StEdtdFromDfaXsd(xsd);
+  for (const Tree& tree : EnumerateTrees({3, 2, 5})) {
+    bool expected = edtd.Accepts(tree);
+    EXPECT_EQ(xsd.Accepts(tree), expected) << tree.ToString(edtd.sigma);
+    EXPECT_EQ(back.Accepts(tree), expected) << tree.ToString(edtd.sigma);
+  }
+}
+
+TEST(DfaXsdTest, TypeSizeMatchesTypeCount) {
+  Edtd edtd = ReduceEdtd(LibrarySchema());
+  DfaXsd xsd = DfaXsdFromStEdtd(edtd);
+  EXPECT_EQ(xsd.type_size(), edtd.num_types());
+}
+
+TEST(DfaXsdTest, ContextSensitiveTyping) {
+  // The same label validates differently under different ancestors — the
+  // defining power of XSD over DTD.
+  SchemaBuilder builder;
+  builder.AddType("Root", "a", "Left Right");
+  builder.AddType("Left", "l", "X1");
+  builder.AddType("Right", "r", "X2");
+  builder.AddType("X1", "x", "%");      // x under l must be a leaf
+  builder.AddType("X2", "x", "X2?");    // x under r may nest
+  builder.AddStart("Root");
+  Edtd edtd = ReduceEdtd(builder.Build());
+  ASSERT_TRUE(IsSingleType(edtd));
+  DfaXsd xsd = DfaXsdFromStEdtd(edtd);
+  Alphabet& s = xsd.sigma;
+  int a = s.Find("a"), l = s.Find("l"), r = s.Find("r"), x = s.Find("x");
+  Tree nested_right(a, {Tree(l, {Tree(x)}),
+                        Tree(r, {Tree(x, {Tree(x)})})});
+  EXPECT_TRUE(xsd.Accepts(nested_right));
+  Tree nested_left(a, {Tree(l, {Tree(x, {Tree(x)})}),
+                       Tree(r, {Tree(x)})});
+  EXPECT_FALSE(xsd.Accepts(nested_left));
+}
+
+TEST(DfaXsdTest, SizeAndWellFormedness) {
+  DfaXsd xsd = DfaXsdFromStEdtd(ReduceEdtd(LibrarySchema()));
+  xsd.CheckWellFormed();
+  EXPECT_GT(xsd.Size(), xsd.type_size());
+}
+
+TEST(ValidateTest, ReportsViolationPathAndMessage) {
+  DfaXsd xsd = DfaXsdFromStEdtd(ReduceEdtd(LibrarySchema()));
+  Alphabet& s = xsd.sigma;
+  int library = s.Find("library"), book = s.Find("book"),
+      title = s.Find("title"), chapter = s.Find("chapter");
+
+  Tree ok(library, {Tree(book, {Tree(title), Tree(chapter)})});
+  EXPECT_TRUE(ValidateWithDiagnostics(xsd, ok).ok);
+
+  // book missing its chapters.
+  Tree missing(library, {Tree(book, {Tree(title)})});
+  ValidationResult result = ValidateWithDiagnostics(xsd, missing);
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.violation_path, TreePath{0});
+  EXPECT_NE(result.message.find("book"), std::string::npos);
+
+  // Wrong root.
+  ValidationResult wrong_root = ValidateWithDiagnostics(xsd, Tree(book));
+  EXPECT_FALSE(wrong_root.ok);
+  EXPECT_NE(wrong_root.message.find("start"), std::string::npos);
+}
+
+TEST(ValidateTest, AgreesWithAcceptsOnEnumeration) {
+  DfaXsd xsd = DfaXsdFromStEdtd(ReduceEdtd(LibrarySchema()));
+  for (const Tree& tree : EnumerateTrees({3, 2, 5})) {
+    EXPECT_EQ(ValidateWithDiagnostics(xsd, tree).ok, xsd.Accepts(tree));
+  }
+}
+
+// Paper families are single-type and the conversions stay faithful.
+class FamilyConversionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FamilyConversionTest, Theorem36FamilyRoundTrips) {
+  auto [d1, d2] = Theorem36Family(GetParam());
+  for (Edtd* schema : {&d1, &d2}) {
+    Edtd reduced = ReduceEdtd(*schema);
+    ASSERT_TRUE(IsSingleType(reduced));
+    DfaXsd xsd = DfaXsdFromStEdtd(reduced);
+    for (const Tree& tree : EnumerateTrees({4, 1, 2})) {
+      EXPECT_EQ(xsd.Accepts(tree), schema->Accepts(tree));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FamilyConversionTest,
+                         ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace stap

@@ -1,0 +1,69 @@
+// Unit tests for the XML-lite reader/writer.
+#include <gtest/gtest.h>
+
+#include "stap/tree/xml.h"
+
+namespace stap {
+namespace {
+
+TEST(XmlTest, ParsesNestedElements) {
+  Alphabet alphabet;
+  StatusOr<Tree> tree = ParseXml(
+      "<library><book><title/><chapter/></book><book><title/></book>"
+      "</library>",
+      &alphabet);
+  ASSERT_TRUE(tree.ok()) << tree.status();
+  EXPECT_EQ(tree->label, alphabet.Find("library"));
+  ASSERT_EQ(tree->children.size(), 2u);
+  EXPECT_EQ(tree->children[0].children.size(), 2u);
+  EXPECT_EQ(tree->children[1].children.size(), 1u);
+}
+
+TEST(XmlTest, AcceptsDeclarationCommentsAndWhitespace) {
+  Alphabet alphabet;
+  StatusOr<Tree> tree = ParseXml(
+      "<?xml version=\"1.0\"?>\n"
+      "<!-- catalog -->\n"
+      "<a>\n  <!-- inner -->\n  <b/>\n</a>\n",
+      &alphabet);
+  ASSERT_TRUE(tree.ok()) << tree.status();
+  EXPECT_EQ(tree->children.size(), 1u);
+}
+
+TEST(XmlTest, ExplicitClosingTagsForLeaves) {
+  Alphabet alphabet;
+  StatusOr<Tree> tree = ParseXml("<a><b></b></a>", &alphabet);
+  ASSERT_TRUE(tree.ok()) << tree.status();
+  EXPECT_TRUE(tree->children[0].IsLeaf());
+}
+
+TEST(XmlTest, RejectsMalformedDocuments) {
+  Alphabet alphabet;
+  EXPECT_FALSE(ParseXml("<a><b></a></b>", &alphabet).ok());  // mismatched
+  EXPECT_FALSE(ParseXml("<a>", &alphabet).ok());             // unclosed
+  EXPECT_FALSE(ParseXml("<a/><b/>", &alphabet).ok());        // two roots
+  EXPECT_FALSE(ParseXml("<a x=\"1\"/>", &alphabet).ok());    // attributes
+  EXPECT_FALSE(ParseXml("<a>text</a>", &alphabet).ok());     // text
+  EXPECT_FALSE(ParseXml("", &alphabet).ok());
+}
+
+TEST(XmlTest, RoundTripsThroughSerializer) {
+  Alphabet alphabet;
+  const char* source = "<a><b><c/><c/></b><d/></a>";
+  StatusOr<Tree> tree = ParseXml(source, &alphabet);
+  ASSERT_TRUE(tree.ok());
+  std::string serialized = ToXml(*tree, alphabet);
+  StatusOr<Tree> reparsed = ParseXml(serialized, &alphabet);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(*tree, *reparsed);
+}
+
+TEST(XmlTest, SerializerUsesSelfClosingLeaves) {
+  Alphabet alphabet({"a", "b"});
+  Tree tree(0, {Tree(1)});
+  EXPECT_EQ(ToXml(tree, alphabet), "<a>\n  <b/>\n</a>\n");
+  EXPECT_EQ(ToXml(Tree(1), alphabet), "<b/>\n");
+}
+
+}  // namespace
+}  // namespace stap

@@ -1,0 +1,352 @@
+// stap — command-line front end for the library.
+//
+//   stap validate <schema> <doc.xml>     validate an XML document
+//   stap check <schema>                  report schema properties
+//   stap minimize <schema>               canonical minimal XSD
+//   stap approx <schema>                 minimal upper XSD-approximation
+//   stap merge <s1> <s2>                 upper approximation of the union
+//   stap intersect <s1> <s2>             exact intersection
+//   stap diff <s1> <s2>                  upper approximation of s1 \ s2
+//   stap complement <schema>             upper approximation of the complement
+//   stap lower <s1> <s2>                 maximal lower approx of the union
+//                                        containing s1 (Theorem 4.8)
+//   stap included <s1> <s2>              is L(s1) ⊆ L(s2)? (s2 single-type)
+//   stap witness <s1> <s2>               a document in L(s1) \ L(s2)
+//   stap types <schema> <doc.xml>        print the document's typing
+//   stap report <s1> <s2>                full comparison report
+//   stap sample <schema> [count]         sample random documents
+//   stap count <schema> <depth> <width>  count documents within bounds
+//   stap export <schema> [--repair-upa]  write a W3C-style .xsd document
+//   stap import <schema.xsd>             read a W3C-style .xsd document
+//
+// Schemas use the textual format of schema/text_format.h (docs/FORMAT.md)
+// unless stated otherwise; results are printed in the same format.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <random>
+#include <sstream>
+#include <string>
+
+#include "stap/approx/inclusion.h"
+#include "stap/approx/lower_check.h"
+#include "stap/approx/nv.h"
+#include "stap/approx/upper.h"
+#include "stap/approx/upper_boolean.h"
+#include "stap/approx/diff_report.h"
+#include "stap/approx/witness.h"
+#include "stap/gen/random.h"
+#include "stap/regex/bkw.h"
+#include "stap/schema/minimize.h"
+#include "stap/schema/reduce.h"
+#include "stap/schema/single_type.h"
+#include "stap/schema/count.h"
+#include "stap/schema/text_format.h"
+#include "stap/schema/typing.h"
+#include "stap/schema/xsd_io.h"
+#include "stap/schema/type_automaton.h"
+#include "stap/schema/validate.h"
+#include "stap/tree/xml.h"
+
+namespace stap {
+namespace {
+
+int Usage() {
+  std::cerr
+      << "usage: stap <command> <args>\n"
+         "  validate <schema> <doc.xml>   validate a document\n"
+         "  check <schema>                report schema properties\n"
+         "  minimize <schema>             canonical minimal XSD\n"
+         "  approx <schema>               minimal upper XSD-approximation\n"
+         "  merge <s1> <s2>               upper approximation of the union\n"
+         "  intersect <s1> <s2>           exact intersection\n"
+         "  diff <s1> <s2>                upper approximation of s1 \\ s2\n"
+         "  complement <schema>           upper approx of the complement\n"
+         "  lower <s1> <s2>               maximal lower approx of the union\n"
+         "  included <s1> <s2>            L(s1) subset of L(s2)?\n"
+         "  witness <s1> <s2>             a document in L(s1) \\ L(s2)\n"
+         "  types <schema> <doc.xml>      print the document's typing\n"
+         "  report <s1> <s2>              full comparison report\n"
+         "  sample <schema> [count]       sample random documents\n"
+         "  count <schema> <depth> <w>    count documents within bounds\n"
+         "  export <schema> [--repair-upa]  write a W3C-style .xsd\n"
+         "  import <schema.xsd>           read a W3C-style .xsd\n";
+  return 2;
+}
+
+StatusOr<std::string> ReadFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return NotFoundError("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+StatusOr<Edtd> LoadSchema(const std::string& path) {
+  StatusOr<std::string> text = ReadFile(path);
+  if (!text.ok()) return text.status();
+  return ParseSchema(*text);
+}
+
+int Fail(const Status& status) {
+  std::cerr << "error: " << status << "\n";
+  return 1;
+}
+
+int CmdValidate(const std::string& schema_path, const std::string& doc_path) {
+  StatusOr<Edtd> schema = LoadSchema(schema_path);
+  if (!schema.ok()) return Fail(schema.status());
+  Edtd reduced = ReduceEdtd(*schema);
+  StatusOr<std::string> xml = ReadFile(doc_path);
+  if (!xml.ok()) return Fail(xml.status());
+  Alphabet alphabet = reduced.sigma;
+  StatusOr<Tree> document = ParseXml(*xml, &alphabet);
+  if (!document.ok()) return Fail(document.status());
+  if (alphabet.size() != reduced.sigma.size()) {
+    std::cout << "INVALID: document uses elements the schema does not "
+                 "declare\n";
+    return 1;
+  }
+  if (IsSingleType(reduced)) {
+    DfaXsd xsd = DfaXsdFromStEdtd(reduced);
+    ValidationResult result = ValidateWithDiagnostics(xsd, *document);
+    if (result.ok) {
+      std::cout << "VALID\n";
+      return 0;
+    }
+    std::cout << "INVALID: " << result.message << "\n";
+    return 1;
+  }
+  bool ok = reduced.Accepts(*document);
+  std::cout << (ok ? "VALID\n" : "INVALID\n");
+  return ok ? 0 : 1;
+}
+
+int CmdCheck(const std::string& schema_path) {
+  StatusOr<Edtd> schema = LoadSchema(schema_path);
+  if (!schema.ok()) return Fail(schema.status());
+  Edtd reduced = ReduceEdtd(*schema);
+  std::cout << "types (declared):  " << schema->num_types() << "\n"
+            << "types (reduced):   " << reduced.num_types() << "\n"
+            << "alphabet:          " << reduced.sigma.size() << " elements\n"
+            << "empty language:    "
+            << (reduced.num_types() == 0 ? "yes" : "no") << "\n"
+            << "single-type (EDC): "
+            << (IsSingleType(reduced) ? "yes" : "no") << "\n"
+            << "single-type definable: "
+            << (IsSingleTypeDefinable(reduced) ? "yes" : "no") << "\n";
+  // UPA (Section 5): is every content model a one-unambiguous language?
+  bool upa = true;
+  for (int tau = 0; tau < reduced.num_types() && upa; ++tau) {
+    upa = IsOneUnambiguousLanguage(reduced.content[tau]);
+  }
+  std::cout << "UPA-expressible content models: " << (upa ? "yes" : "no")
+            << "\n";
+  return 0;
+}
+
+int PrintXsd(const DfaXsd& xsd) {
+  std::cout << SchemaToText(StEdtdFromDfaXsd(MinimizeXsd(xsd)));
+  return 0;
+}
+
+int CmdSample(const std::string& schema_path, int count) {
+  StatusOr<Edtd> schema = LoadSchema(schema_path);
+  if (!schema.ok()) return Fail(schema.status());
+  Edtd reduced = ReduceEdtd(*schema);
+  if (reduced.num_types() == 0) return Fail(InvalidArgumentError(
+      "schema language is empty"));
+  if (!IsSingleType(reduced)) {
+    return Fail(UnimplementedError(
+        "sampling requires a single-type schema; run 'approx' first"));
+  }
+  DfaXsd xsd = DfaXsdFromStEdtd(reduced);
+  std::random_device device;
+  std::mt19937 rng(device());
+  for (int i = 0; i < count; ++i) {
+    std::optional<Tree> tree = SampleTree(xsd, &rng, 6);
+    if (!tree.has_value()) break;
+    std::cout << ToXml(*tree, xsd.sigma);
+    if (i + 1 < count) std::cout << "<!-- -->\n";
+  }
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+
+  auto load2 = [&](StatusOr<Edtd>* d1, StatusOr<Edtd>* d2) {
+    *d1 = LoadSchema(argv[2]);
+    *d2 = LoadSchema(argv[3]);
+    return d1->ok() && d2->ok();
+  };
+
+  if (command == "validate" && argc == 4) {
+    return CmdValidate(argv[2], argv[3]);
+  }
+  if (command == "check" && argc == 3) return CmdCheck(argv[2]);
+  if (command == "minimize" && argc == 3) {
+    StatusOr<Edtd> schema = LoadSchema(argv[2]);
+    if (!schema.ok()) return Fail(schema.status());
+    Edtd reduced = ReduceEdtd(*schema);
+    if (!IsSingleType(reduced)) {
+      return Fail(InvalidArgumentError(
+          "schema is not single-type; run 'approx' first"));
+    }
+    return PrintXsd(DfaXsdFromStEdtd(reduced));
+  }
+  if (command == "approx" && argc == 3) {
+    StatusOr<Edtd> schema = LoadSchema(argv[2]);
+    if (!schema.ok()) return Fail(schema.status());
+    return PrintXsd(MinimalUpperApproximation(*schema));
+  }
+  if ((command == "merge" || command == "intersect" || command == "diff" ||
+       command == "lower" || command == "included") &&
+      argc == 4) {
+    StatusOr<Edtd> d1(InternalError("unset"));
+    StatusOr<Edtd> d2(InternalError("unset"));
+    if (!load2(&d1, &d2)) {
+      return Fail(d1.ok() ? d2.status() : d1.status());
+    }
+    Edtd r1 = ReduceEdtd(*d1);
+    Edtd r2 = ReduceEdtd(*d2);
+    if (command == "included") {
+      if (!IsSingleType(r2)) {
+        return Fail(InvalidArgumentError(
+            "the second schema must be single-type for the PTIME test"));
+      }
+      bool included = IncludedInSingleType(r1, r2);
+      std::cout << (included ? "INCLUDED\n" : "NOT INCLUDED\n");
+      return included ? 0 : 1;
+    }
+    if (!IsSingleType(r1) || !IsSingleType(r2)) {
+      return Fail(InvalidArgumentError(
+          "both schemas must be single-type; run 'approx' on each first"));
+    }
+    if (command == "merge") return PrintXsd(UpperUnion(r1, r2));
+    if (command == "intersect") return PrintXsd(UpperIntersection(r1, r2));
+    if (command == "diff") return PrintXsd(UpperDifference(r1, r2));
+    return PrintXsd(LowerUnionFixingFirst(r1, r2));
+  }
+  if (command == "complement" && argc == 3) {
+    StatusOr<Edtd> schema = LoadSchema(argv[2]);
+    if (!schema.ok()) return Fail(schema.status());
+    Edtd reduced = ReduceEdtd(*schema);
+    if (!IsSingleType(reduced)) {
+      return Fail(InvalidArgumentError(
+          "schema must be single-type; run 'approx' first"));
+    }
+    return PrintXsd(UpperComplement(reduced));
+  }
+  if (command == "sample" && (argc == 3 || argc == 4)) {
+    int count = argc == 4 ? std::atoi(argv[3]) : 1;
+    return CmdSample(argv[2], count);
+  }
+  if (command == "witness" && argc == 4) {
+    StatusOr<Edtd> d1 = LoadSchema(argv[2]);
+    if (!d1.ok()) return Fail(d1.status());
+    StatusOr<Edtd> d2 = LoadSchema(argv[3]);
+    if (!d2.ok()) return Fail(d2.status());
+    Edtd r2 = ReduceEdtd(*d2);
+    if (!IsSingleType(r2)) {
+      return Fail(InvalidArgumentError(
+          "the second schema must be single-type; run 'approx' first"));
+    }
+    std::optional<Tree> witness =
+        XsdInclusionWitness(*d1, DfaXsdFromStEdtd(r2));
+    if (!witness.has_value()) {
+      std::cout << "INCLUDED (no witness)\n";
+      return 0;
+    }
+    // Render over the merged alphabet the witness was built with.
+    Alphabet merged = DfaXsdFromStEdtd(r2).sigma;
+    for (int a = 0; a < d1->sigma.size(); ++a) {
+      merged.Intern(d1->sigma.Name(a));
+    }
+    std::cout << ToXml(*witness, merged);
+    return 1;
+  }
+  if (command == "report" && argc == 4) {
+    StatusOr<Edtd> d1 = LoadSchema(argv[2]);
+    if (!d1.ok()) return Fail(d1.status());
+    StatusOr<Edtd> d2 = LoadSchema(argv[3]);
+    if (!d2.ok()) return Fail(d2.status());
+    Edtd r1 = ReduceEdtd(*d1);
+    Edtd r2 = ReduceEdtd(*d2);
+    if (!IsSingleType(r1) || !IsSingleType(r2)) {
+      return Fail(InvalidArgumentError(
+          "both schemas must be single-type; run 'approx' on each first"));
+    }
+    std::cout << CompareSchemas(r1, r2).ToString();
+    return 0;
+  }
+  if (command == "types" && argc == 4) {
+    StatusOr<Edtd> schema = LoadSchema(argv[2]);
+    if (!schema.ok()) return Fail(schema.status());
+    Edtd reduced = ReduceEdtd(*schema);
+    StatusOr<std::string> xml = ReadFile(argv[3]);
+    if (!xml.ok()) return Fail(xml.status());
+    Alphabet alphabet = reduced.sigma;
+    StatusOr<Tree> document = ParseXml(*xml, &alphabet);
+    if (!document.ok()) return Fail(document.status());
+    if (alphabet.size() != reduced.sigma.size()) {
+      std::cout << "NO TYPING (undeclared elements)\n";
+      return 1;
+    }
+    std::optional<Typing> typing = AssignTypesEdtd(reduced, *document);
+    if (!typing.has_value()) {
+      std::cout << "NO TYPING (document invalid)\n";
+      return 1;
+    }
+    std::cout << typing->ToString(reduced, *document);
+    int64_t count = CountTypings(reduced, *document);
+    if (count > 1) {
+      std::cout << "(ambiguous: " << count << " distinct typings)\n";
+    }
+    return 0;
+  }
+  if (command == "count" && argc == 5) {
+    StatusOr<Edtd> schema = LoadSchema(argv[2]);
+    if (!schema.ok()) return Fail(schema.status());
+    Edtd reduced = ReduceEdtd(*schema);
+    if (!IsSingleType(reduced)) {
+      return Fail(InvalidArgumentError(
+          "counting requires a single-type schema; run 'approx' first"));
+    }
+    double count = CountDocuments(DfaXsdFromStEdtd(reduced),
+                                  std::atoi(argv[3]), std::atoi(argv[4]));
+    std::cout << count << "\n";
+    return 0;
+  }
+  if (command == "export" && (argc == 3 || argc == 4)) {
+    StatusOr<Edtd> schema = LoadSchema(argv[2]);
+    if (!schema.ok()) return Fail(schema.status());
+    Edtd reduced = ReduceEdtd(*schema);
+    if (!IsSingleType(reduced)) {
+      return Fail(InvalidArgumentError(
+          "export requires a single-type schema; run 'approx' first"));
+    }
+    XsdExportOptions options;
+    if (argc == 4) {
+      if (std::string(argv[3]) != "--repair-upa") return Usage();
+      options.repair_upa = true;
+    }
+    std::cout << ExportXsd(MinimizeXsd(DfaXsdFromStEdtd(reduced)), options);
+    return 0;
+  }
+  if (command == "import" && argc == 3) {
+    StatusOr<std::string> xml = ReadFile(argv[2]);
+    if (!xml.ok()) return Fail(xml.status());
+    StatusOr<Edtd> schema = ImportXsd(*xml);
+    if (!schema.ok()) return Fail(schema.status());
+    std::cout << SchemaToText(ReduceEdtd(*schema));
+    return 0;
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace stap
+
+int main(int argc, char** argv) { return stap::Run(argc, argv); }
