@@ -1,8 +1,10 @@
 #include "stap/approx/closure.h"
 
 #include <map>
+#include <unordered_map>
 #include <utility>
 
+#include "stap/automata/state_set_hash.h"
 #include "stap/base/check.h"
 
 namespace stap {
@@ -121,7 +123,10 @@ class ClosureEngine {
   ClosureOptions options_;
   ClosureResult result_;
   std::map<Tree, int> known_;
-  std::map<GuardKey, std::vector<Occurrence>> occurrences_;
+  // Guard keys are int sequences (ancestor strings or (state, label)
+  // pairs); hashed lookup keeps the per-node indexing O(|key|).
+  std::unordered_map<GuardKey, std::vector<Occurrence>, IntVectorHash>
+      occurrences_;
 };
 
 }  // namespace

@@ -1,12 +1,13 @@
 #include "stap/approx/inclusion.h"
 
-#include <map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "stap/approx/upper_boolean.h"
 #include "stap/automata/inclusion.h"
 #include "stap/automata/ops.h"
+#include "stap/automata/state_set_hash.h"
 #include "stap/base/check.h"
 #include "stap/schema/reduce.h"
 #include "stap/schema/type_automaton.h"
@@ -33,23 +34,23 @@ bool EdtdIncludedInXsd(const Edtd& d1_in, const DfaXsd& xsd2) {
   TypeAutomaton a1 = BuildTypeAutomaton(d1);
 
   // Root check: every D1 start label must be an allowed XSD start symbol.
+  const int xsd2_init = xsd2.automaton.initial();
   for (int tau : d1.start_types) {
     if (d1.mu[tau] >= xsd2.sigma.size() ||
         !StateSetContains(xsd2.start_symbols, d1.mu[tau]) ||
-        xsd2.automaton.Next(0, d1.mu[tau]) == kNoState) {
+        xsd2.automaton.Next(xsd2_init, d1.mu[tau]) == kNoState) {
       return false;
     }
   }
 
   // BFS over reachable (type-automaton state, XSD state) pairs; check the
   // content-model inclusion μ1(d1(τ)) ⊆ f2(q) at every pair.
-  std::map<std::pair<int, int>, bool> seen;
+  std::unordered_set<uint64_t, U64Hash> seen;
   std::vector<std::pair<int, int>> worklist;
   auto visit = [&](int s1, int q2) {
-    auto [it, inserted] = seen.emplace(std::make_pair(s1, q2), true);
-    if (inserted) worklist.emplace_back(s1, q2);
+    if (seen.insert(PackPair(s1, q2)).second) worklist.emplace_back(s1, q2);
   };
-  visit(TypeAutomaton::kInit, 0);
+  visit(TypeAutomaton::kInit, xsd2_init);
   size_t processed = 0;
   while (processed < worklist.size()) {
     auto [s1, q2] = worklist[processed];

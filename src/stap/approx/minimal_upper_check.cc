@@ -1,6 +1,7 @@
 #include "stap/approx/minimal_upper_check.h"
 
-#include <map>
+#include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -10,6 +11,7 @@
 #include "stap/automata/inclusion.h"
 #include "stap/automata/minimize.h"
 #include "stap/automata/ops.h"
+#include "stap/automata/state_set_hash.h"
 #include "stap/base/check.h"
 #include "stap/schema/reduce.h"
 #include "stap/schema/single_type.h"
@@ -47,14 +49,16 @@ bool IsMinimalUpperApproximation(const Edtd& candidate_in,
     if (!target_root[a]) return false;
   }
 
-  // Cache of determinized content unions per target-type subset.
-  std::map<StateSet, Dfa> content_cache;
-  auto subset_content = [&](const StateSet& subset) -> const Dfa& {
-    auto it = content_cache.find(subset);
+  // Subsets of target-type states are interned to dense ids; both the
+  // content cache and the visited-pair set key off those ids.
+  StateSetInterner subsets;
+  std::unordered_map<int, Dfa> content_cache;
+  auto subset_content = [&](int subset_id) -> const Dfa& {
+    auto it = content_cache.find(subset_id);
     if (it != content_cache.end()) return it->second;
     Nfa content_union(0, num_symbols);
     bool first = true;
-    for (int state : subset) {
+    for (int state : subsets[subset_id]) {
       int tau = TypeAutomaton::TypeOfState(state);
       Nfa image =
           HomomorphicImage(target.content[tau], target.mu, num_symbols);
@@ -63,35 +67,35 @@ bool IsMinimalUpperApproximation(const Edtd& candidate_in,
       first = false;
     }
     STAP_CHECK(!first);
-    return content_cache.emplace(subset, Determinize(content_union))
+    return content_cache.emplace(subset_id, Determinize(content_union))
         .first->second;
   };
 
-  std::map<std::pair<int, StateSet>, bool> seen;
-  std::vector<std::pair<int, StateSet>> worklist;
-  auto visit = [&](int q, StateSet subset) {
-    auto [it, inserted] =
-        seen.emplace(std::make_pair(q, std::move(subset)), true);
-    if (inserted) worklist.push_back(it->first);
+  std::unordered_set<uint64_t, U64Hash> seen;
+  std::vector<std::pair<int, int>> worklist;  // (candidate state, subset id)
+  auto visit = [&](int q, StateSet&& subset) {
+    int subset_id = subsets.Intern(std::move(subset)).first;
+    if (seen.insert(PackPair(q, subset_id)).second) {
+      worklist.emplace_back(q, subset_id);
+    }
   };
-  visit(0, StateSet{TypeAutomaton::kInit});
+  visit(candidate_xsd.automaton.initial(), StateSet{TypeAutomaton::kInit});
 
-  size_t processed = 0;
-  while (processed < worklist.size()) {
-    auto [q, subset] = worklist[processed];
-    ++processed;
-    if (q != 0) {
+  StateSet scratch;
+  for (size_t processed = 0; processed < worklist.size(); ++processed) {
+    const auto [q, subset_id] = worklist[processed];
+    if (q != candidate_xsd.automaton.initial()) {
       // Candidate content must be inside the union of the subset's
       // contents.
       Nfa image = candidate_xsd.content[q].ToNfa();
-      if (!NfaIncludedInDfa(image, subset_content(subset))) return false;
+      if (!NfaIncludedInDfa(image, subset_content(subset_id))) return false;
     }
     for (int a = 0; a < num_symbols; ++a) {
       int q_next = candidate_xsd.automaton.Next(q, a);
       if (q_next == kNoState) continue;
-      StateSet subset_next = target_types.nfa.Next(subset, a);
-      if (subset_next.empty()) continue;  // caught by the content check
-      visit(q_next, std::move(subset_next));
+      target_types.nfa.NextInto(subsets[subset_id], a, &scratch);
+      if (scratch.empty()) continue;  // caught by the content check
+      visit(q_next, std::move(scratch));
     }
   }
   return true;

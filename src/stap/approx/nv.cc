@@ -3,6 +3,7 @@
 #include <deque>
 #include <map>
 #include <sstream>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -10,6 +11,7 @@
 #include "stap/automata/inclusion.h"
 #include "stap/automata/minimize.h"
 #include "stap/automata/ops.h"
+#include "stap/automata/state_set_hash.h"
 #include "stap/base/check.h"
 #include "stap/schema/minimize.h"
 #include "stap/schema/reduce.h"
@@ -78,7 +80,7 @@ struct ProductBuilder {
   DfaXsd x1;
   DfaXsd x2;
   NvAnalysis analysis;
-  std::map<std::pair<int, int>, int> pair_ids;
+  std::unordered_map<std::pair<int, int>, int, IntPairHash> pair_ids;
 
   int Intern(int q1, int q2) {
     auto [it, inserted] =

@@ -2,12 +2,14 @@
 
 #include <map>
 #include <tuple>
+#include <unordered_map>
 #include <vector>
 
 #include "stap/approx/upper.h"
 #include "stap/automata/determinize.h"
 #include "stap/automata/minimize.h"
 #include "stap/automata/ops.h"
+#include "stap/automata/state_set_hash.h"
 #include "stap/base/check.h"
 #include "stap/schema/minimize.h"
 #include "stap/schema/reduce.h"
@@ -178,7 +180,7 @@ Edtd ComplementEdtd(const DfaXsd& xsd) {
   // Start types: guess an error below a valid root, or reject the root
   // label outright.
   for (int a = 0; a < num_symbols; ++a) {
-    int q = xsd.automaton.Next(0, a);
+    int q = xsd.automaton.Next(xsd.automaton.initial(), a);
     if (StateSetContains(xsd.start_symbols, a) && q != kNoState) {
       StateSetInsert(result.start_types, q - 1);
     } else {
@@ -228,7 +230,7 @@ Edtd DifferenceEdtd(const Edtd& d1, const DfaXsd& xsd2) {
   const int m2 = xsd2.automaton.num_states();
 
   // Pair types (τ1, q2) for label-compatible combinations.
-  std::map<std::pair<int, int>, int> pair_id;
+  std::unordered_map<std::pair<int, int>, int, IntPairHash> pair_id;
   std::vector<std::pair<int, int>> pairs;
   for (int tau = 0; tau < n1; ++tau) {
     for (int q = 1; q < m2; ++q) {
@@ -257,7 +259,7 @@ Edtd DifferenceEdtd(const Edtd& d1, const DfaXsd& xsd2) {
   // D1 types for roots D2 rejects outright.
   for (int tau : d1.start_types) {
     int a = d1.mu[tau];
-    int q = xsd2.automaton.Next(0, a);
+    int q = xsd2.automaton.Next(xsd2.automaton.initial(), a);
     if (StateSetContains(xsd2.start_symbols, a) && q != kNoState) {
       StateSetInsert(result.start_types, pair_id.at({tau, q}));
     } else {
@@ -343,7 +345,7 @@ DfaXsd UpperIntersection(const Edtd& d1_in, const Edtd& d2_in) {
 
   // Product of the two XSD automata over reachable pairs; content models
   // are intersected.
-  std::map<std::pair<int, int>, int> ids;
+  std::unordered_map<std::pair<int, int>, int, IntPairHash> ids;
   std::vector<std::pair<int, int>> worklist;
   DfaXsd product;
   product.sigma = x1.sigma;

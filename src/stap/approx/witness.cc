@@ -1,11 +1,12 @@
 #include "stap/approx/witness.h"
 
-#include <map>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "stap/automata/inclusion.h"
 #include "stap/automata/ops.h"
+#include "stap/automata/state_set_hash.h"
 #include "stap/base/check.h"
 #include "stap/schema/reduce.h"
 #include "stap/schema/type_automaton.h"
@@ -130,9 +131,10 @@ std::optional<Tree> XsdInclusionWitness(const Edtd& d1_in,
   std::vector<Tree> minimal = MinimalTypeTrees(d1);
 
   // Root violations: a D1 start label the XSD does not allow.
+  const int xsd2_init = xsd2.automaton.initial();
   for (int tau : d1.start_types) {
     if (!StateSetContains(xsd2.start_symbols, d1.mu[tau]) ||
-        xsd2.automaton.Next(0, d1.mu[tau]) == kNoState) {
+        xsd2.automaton.Next(xsd2_init, d1.mu[tau]) == kNoState) {
       return minimal[tau];
     }
   }
@@ -143,13 +145,14 @@ std::optional<Tree> XsdInclusionWitness(const Edtd& d1_in,
     int q2;      // XSD state
     int parent;  // node index, -1 at the root pair
   };
-  std::map<std::pair<int, int>, int> ids;
+  std::unordered_map<uint64_t, int, U64Hash> ids;
   std::vector<Node> nodes;
   auto visit = [&](int s1, int q2, int parent) {
-    auto [it, inserted] = ids.emplace(std::make_pair(s1, q2), nodes.size());
+    auto [it, inserted] =
+        ids.emplace(PackPair(s1, q2), static_cast<int>(nodes.size()));
     if (inserted) nodes.push_back(Node{s1, q2, parent});
   };
-  visit(TypeAutomaton::kInit, 0, -1);
+  visit(TypeAutomaton::kInit, xsd2_init, -1);
 
   for (size_t current = 0; current < nodes.size(); ++current) {
     const int s1 = nodes[current].s1;

@@ -1,45 +1,40 @@
 #include "stap/automata/determinize.h"
 
-#include <map>
 #include <utility>
+
+#include "stap/automata/state_set_hash.h"
 
 namespace stap {
 
 Dfa Determinize(const Nfa& nfa, std::vector<StateSet>* subsets) {
   const int num_symbols = nfa.num_symbols();
-  std::map<StateSet, int> ids;
-  std::vector<StateSet> worklist;
+  StateSetInterner interner;
 
   Dfa dfa(0, num_symbols);
-  auto intern = [&](StateSet set) -> int {
-    auto [it, inserted] = ids.emplace(std::move(set), dfa.num_states());
-    if (inserted) {
-      dfa.AddState();
-      worklist.push_back(it->first);
-      if (subsets != nullptr) subsets->push_back(it->first);
-    }
-    return it->second;
-  };
+  interner.Intern(nfa.initial());
+  dfa.AddState();
+  dfa.SetInitial(0);
 
-  int start = intern(nfa.initial());
-  dfa.SetInitial(start);
-
-  size_t processed = 0;
-  while (processed < worklist.size()) {
-    StateSet current = worklist[processed];
-    int current_id = ids.at(current);
-    ++processed;
+  // Subset ids double as the worklist: processing state id may discover
+  // new subsets, which are appended and processed in turn. References
+  // into the interner stay valid across inserts.
+  StateSet scratch;
+  for (int id = 0; id < interner.size(); ++id) {
+    const StateSet& current = interner[id];
     for (int q : current) {
       if (nfa.IsFinal(q)) {
-        dfa.SetFinal(current_id);
+        dfa.SetFinal(id);
         break;
       }
     }
     for (int a = 0; a < num_symbols; ++a) {
-      int next_id = intern(nfa.Next(current, a));
-      dfa.SetTransition(current_id, a, next_id);
+      nfa.NextInto(current, a, &scratch);
+      auto [next_id, inserted] = interner.Intern(std::move(scratch));
+      if (inserted) dfa.AddState();
+      dfa.SetTransition(id, a, next_id);
     }
   }
+  if (subsets != nullptr) interner.MoveSetsInto(subsets);
   return dfa;
 }
 

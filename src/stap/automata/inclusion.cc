@@ -1,10 +1,12 @@
 #include "stap/automata/inclusion.h"
 
 #include <algorithm>
-#include <deque>
-#include <map>
+#include <unordered_map>
+#include <unordered_set>
 #include <utility>
+#include <vector>
 
+#include "stap/automata/state_set_hash.h"
 #include "stap/base/check.h"
 
 namespace stap {
@@ -18,7 +20,9 @@ namespace {
 // The reachable pairs are at most |2^Q_nfa| x |Q_dfa| in principle, but for
 // the deterministic inputs used by Lemma 3.3 the first component stays a
 // singleton and the search is polynomial. For genuinely non-deterministic
-// inputs this is the textbook subset-product search.
+// inputs this is the textbook subset-product search. State sets are
+// hash-interned once; the pair table is keyed by packed (set id, dfa
+// state) words.
 std::optional<Word> SearchCounterexample(const Nfa& nfa, const Dfa& dfa_in) {
   STAP_CHECK(nfa.num_symbols() == dfa_in.num_symbols());
   const Dfa dfa = dfa_in.Completed();
@@ -29,43 +33,50 @@ std::optional<Word> SearchCounterexample(const Nfa& nfa, const Dfa& dfa_in) {
                        [&](int q) { return nfa.IsFinal(q); });
   };
 
-  using Pair = std::pair<StateSet, int>;
-  std::map<Pair, int> ids;
-  std::vector<Pair> nodes;
+  StateSetInterner sets;
+  std::unordered_map<uint64_t, int, U64Hash> ids;
+  struct Node {
+    int set_id;
+    int dfa_state;
+  };
+  std::vector<Node> nodes;  // insertion order doubles as the BFS queue
   std::vector<int> parent;
   std::vector<int> via_symbol;
-  std::deque<int> queue;
 
-  auto intern = [&](StateSet set, int dfa_state, int from, int symbol) -> int {
+  auto intern = [&](StateSet&& set, int dfa_state, int from, int symbol) {
+    const int set_id = sets.Intern(std::move(set)).first;
     auto [it, inserted] =
-        ids.emplace(Pair(std::move(set), dfa_state), nodes.size());
+        ids.emplace(PackPair(set_id, dfa_state), static_cast<int>(nodes.size()));
     if (inserted) {
-      nodes.push_back(it->first);
+      nodes.push_back(Node{set_id, dfa_state});
       parent.push_back(from);
       via_symbol.push_back(symbol);
-      queue.push_back(it->second);
     }
     return it->second;
   };
 
-  intern(nfa.initial(), dfa.initial(), -1, kNoSymbol);
-  while (!queue.empty()) {
-    int id = queue.front();
-    queue.pop_front();
-    // Copy: intern() below may reallocate `nodes`.
-    const auto [set, dfa_state] = nodes[id];
-    if (nfa_accepts(set) && !dfa.IsFinal(dfa_state)) {
+  {
+    StateSet initial = nfa.initial();
+    intern(std::move(initial), dfa.initial(), -1, kNoSymbol);
+  }
+  StateSet scratch;
+  for (size_t id = 0; id < nodes.size(); ++id) {
+    const int set_id = nodes[id].set_id;
+    const int dfa_state = nodes[id].dfa_state;
+    if (nfa_accepts(sets[set_id]) && !dfa.IsFinal(dfa_state)) {
       Word word;
-      for (int cur = id; parent[cur] >= 0; cur = parent[cur]) {
+      for (int cur = static_cast<int>(id); parent[cur] >= 0;
+           cur = parent[cur]) {
         word.push_back(via_symbol[cur]);
       }
       std::reverse(word.begin(), word.end());
       return word;
     }
     for (int sym = 0; sym < num_symbols; ++sym) {
-      StateSet next_set = nfa.Next(set, sym);
-      if (next_set.empty()) continue;  // NFA can never accept from here
-      intern(std::move(next_set), dfa.Next(dfa_state, sym), id, sym);
+      nfa.NextInto(sets[set_id], sym, &scratch);
+      if (scratch.empty()) continue;  // NFA can never accept from here
+      intern(std::move(scratch), dfa.Next(dfa_state, sym),
+             static_cast<int>(id), sym);
     }
   }
   return std::nullopt;
@@ -85,29 +96,40 @@ bool NfaIncludedInNfa(const Nfa& a, const Nfa& b) {
   STAP_CHECK(a.num_symbols() == b.num_symbols());
   const int num_symbols = a.num_symbols();
   // Pairs (state set of a, state set of b), searching for accept/reject.
-  std::map<std::pair<StateSet, StateSet>, bool> seen;
-  std::vector<std::pair<StateSet, StateSet>> worklist;
-  auto visit = [&](StateSet sa, StateSet sb) {
-    auto [it, inserted] = seen.emplace(
-        std::make_pair(std::move(sa), std::move(sb)), true);
-    if (inserted) worklist.push_back(it->first);
+  // Both components are interned to dense ids; the visited-pair set is a
+  // flat table over packed id pairs.
+  StateSetInterner sets_a;
+  StateSetInterner sets_b;
+  std::unordered_set<uint64_t, U64Hash> seen;
+  std::vector<std::pair<int, int>> worklist;
+  auto visit = [&](StateSet&& sa, StateSet&& sb) {
+    int id_a = sets_a.Intern(std::move(sa)).first;
+    int id_b = sets_b.Intern(std::move(sb)).first;
+    if (seen.insert(PackPair(id_a, id_b)).second) {
+      worklist.emplace_back(id_a, id_b);
+    }
   };
-  visit(a.initial(), b.initial());
+  {
+    StateSet ia = a.initial();
+    StateSet ib = b.initial();
+    visit(std::move(ia), std::move(ib));
+  }
   auto accepts = [](const Nfa& nfa, const StateSet& set) {
     for (int q : set) {
       if (nfa.IsFinal(q)) return true;
     }
     return false;
   };
-  size_t processed = 0;
-  while (processed < worklist.size()) {
-    auto [sa, sb] = worklist[processed];
-    ++processed;
-    if (accepts(a, sa) && !accepts(b, sb)) return false;
+  StateSet scratch_a;
+  StateSet scratch_b;
+  for (size_t processed = 0; processed < worklist.size(); ++processed) {
+    const auto [id_a, id_b] = worklist[processed];
+    if (accepts(a, sets_a[id_a]) && !accepts(b, sets_b[id_b])) return false;
     for (int sym = 0; sym < num_symbols; ++sym) {
-      StateSet next_a = a.Next(sa, sym);
-      if (next_a.empty()) continue;
-      visit(std::move(next_a), b.Next(sb, sym));
+      a.NextInto(sets_a[id_a], sym, &scratch_a);
+      if (scratch_a.empty()) continue;
+      b.NextInto(sets_b[id_b], sym, &scratch_b);
+      visit(std::move(scratch_a), std::move(scratch_b));
     }
   }
   return true;

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <deque>
-#include <map>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "stap/automata/determinize.h"
+#include "stap/automata/state_set_hash.h"
 #include "stap/base/check.h"
 
 namespace stap {
@@ -59,12 +61,16 @@ Dfa Minimize(const Dfa& input) {
   for (int q = 0; q < n; ++q) classes[q] = dfa.IsFinal(q) ? 1 : 0;
 
   int num_classes = 2;
+  std::vector<int> signature;
   while (true) {
     // Signature of a state: (its class, classes of its successors).
-    std::map<std::vector<int>, int> signature_ids;
+    // Hash-interned: one O(num_symbols) hash per state instead of
+    // O(num_symbols · log n) lexicographic comparisons per tree probe.
+    std::unordered_map<std::vector<int>, int, IntVectorHash> signature_ids;
+    signature_ids.reserve(static_cast<size_t>(n));
     std::vector<int> next_classes(n);
     for (int q = 0; q < n; ++q) {
-      std::vector<int> signature;
+      signature.clear();
       signature.reserve(num_symbols + 1);
       signature.push_back(classes[q]);
       for (int a = 0; a < num_symbols; ++a) {

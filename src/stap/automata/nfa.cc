@@ -59,15 +59,21 @@ StateSet Nfa::FinalStates() const {
 
 StateSet Nfa::Next(const StateSet& states, int symbol) const {
   StateSet result;
+  NextInto(states, symbol, &result);
+  return result;
+}
+
+void Nfa::NextInto(const StateSet& states, int symbol, StateSet* out) const {
+  // Concatenate all successor lists, then sort + dedupe once — cheaper
+  // than the pairwise set_union chain it replaces, and allocation-free
+  // when `out` has capacity.
+  out->clear();
   for (int q : states) {
     const StateSet& succ = Next(q, symbol);
-    StateSet merged;
-    merged.reserve(result.size() + succ.size());
-    std::set_union(result.begin(), result.end(), succ.begin(), succ.end(),
-                   std::back_inserter(merged));
-    result = std::move(merged);
+    out->insert(out->end(), succ.begin(), succ.end());
   }
-  return result;
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
 }
 
 StateSet Nfa::Run(const Word& word) const {

@@ -56,6 +56,10 @@ class Nfa {
   // Successors of every state in `states` on `symbol` (sorted union).
   StateSet Next(const StateSet& states, int symbol) const;
 
+  // As above, writing into `*out` (cleared first) so hot loops can reuse
+  // one scratch buffer instead of allocating per step.
+  void NextInto(const StateSet& states, int symbol, StateSet* out) const;
+
   // The set of states reachable from the initial states on `word`.
   StateSet Run(const Word& word) const;
 

@@ -1,8 +1,9 @@
 #include "stap/automata/ops.h"
 
-#include <map>
+#include <unordered_map>
 #include <utility>
 
+#include "stap/automata/state_set_hash.h"
 #include "stap/base/check.h"
 
 namespace stap {
@@ -25,12 +26,11 @@ Dfa DfaProduct(const Dfa& a_in, const Dfa& b_in, BoolOp op) {
     return false;
   };
 
-  std::map<std::pair<int, int>, int> ids;
-  std::vector<std::pair<int, int>> worklist;
+  std::unordered_map<uint64_t, int, U64Hash> ids;
+  std::vector<std::pair<int, int>> worklist;  // id -> (qa, qb)
   Dfa product(0, num_symbols);
   auto intern = [&](int qa, int qb) -> int {
-    auto [it, inserted] = ids.emplace(std::make_pair(qa, qb),
-                                      product.num_states());
+    auto [it, inserted] = ids.emplace(PackPair(qa, qb), product.num_states());
     if (inserted) {
       product.AddState();
       product.SetFinal(it->second, combine(a.IsFinal(qa), b.IsFinal(qb)));
@@ -40,13 +40,11 @@ Dfa DfaProduct(const Dfa& a_in, const Dfa& b_in, BoolOp op) {
   };
 
   product.SetInitial(intern(a.initial(), b.initial()));
-  size_t processed = 0;
-  while (processed < worklist.size()) {
-    auto [qa, qb] = worklist[processed];
-    int id = ids.at({qa, qb});
-    ++processed;
+  for (size_t id = 0; id < worklist.size(); ++id) {
+    auto [qa, qb] = worklist[id];
     for (int sym = 0; sym < num_symbols; ++sym) {
-      product.SetTransition(id, sym, intern(a.Next(qa, sym), b.Next(qb, sym)));
+      product.SetTransition(static_cast<int>(id), sym,
+                            intern(a.Next(qa, sym), b.Next(qb, sym)));
     }
   }
   return product.Trimmed();

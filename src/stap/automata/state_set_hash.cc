@@ -1,0 +1,65 @@
+#include "stap/automata/state_set_hash.h"
+
+namespace stap {
+
+namespace {
+constexpr size_t kInitialTableSize = 64;  // power of two
+}  // namespace
+
+StateSetInterner::StateSetInterner() : table_(kInitialTableSize, -1) {}
+
+size_t StateSetInterner::FindSlot(const StateSet& set, uint64_t hash) const {
+  const size_t mask = table_.size() - 1;
+  size_t i = static_cast<size_t>(hash) & mask;
+  while (true) {
+    int32_t id = table_[i];
+    if (id < 0) return i;
+    if (hashes_[id] == hash && sets_[id] == set) return i;
+    i = (i + 1) & mask;
+  }
+}
+
+std::pair<int, bool> StateSetInterner::Intern(StateSet&& set) {
+  const uint64_t hash = HashIntSpan(set.data(), set.size());
+  const size_t slot = FindSlot(set, hash);
+  if (table_[slot] >= 0) return {table_[slot], false};
+  const int id = static_cast<int>(sets_.size());
+  sets_.push_back(std::move(set));
+  hashes_.push_back(hash);
+  table_[slot] = id;
+  // Keep the load factor below 0.7.
+  if (sets_.size() * 10 >= table_.size() * 7) Grow();
+  return {id, true};
+}
+
+std::pair<int, bool> StateSetInterner::Intern(const StateSet& set) {
+  const uint64_t hash = HashIntSpan(set.data(), set.size());
+  const size_t slot = FindSlot(set, hash);
+  if (table_[slot] >= 0) return {table_[slot], false};
+  const int id = static_cast<int>(sets_.size());
+  sets_.push_back(set);
+  hashes_.push_back(hash);
+  table_[slot] = id;
+  if (sets_.size() * 10 >= table_.size() * 7) Grow();
+  return {id, true};
+}
+
+void StateSetInterner::Grow() {
+  table_.assign(table_.size() * 2, -1);
+  const size_t mask = table_.size() - 1;
+  // All stored sets are distinct, so reinsertion only needs to probe for
+  // an empty slot.
+  for (size_t id = 0; id < hashes_.size(); ++id) {
+    size_t i = static_cast<size_t>(hashes_[id]) & mask;
+    while (table_[i] >= 0) i = (i + 1) & mask;
+    table_[i] = static_cast<int32_t>(id);
+  }
+}
+
+void StateSetInterner::MoveSetsInto(std::vector<StateSet>* out) {
+  out->reserve(out->size() + sets_.size());
+  for (StateSet& set : sets_) out->push_back(std::move(set));
+  sets_.clear();
+}
+
+}  // namespace stap

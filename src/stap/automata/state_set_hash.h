@@ -1,0 +1,119 @@
+// Hashing and interning for the subset-construction / product-search
+// hot paths.
+//
+// Every kernel that explores a graph of StateSet-keyed nodes — subset
+// construction, Moore refinement signatures, inclusion pair searches,
+// bottom-up tree-automaton determinization — previously interned keys
+// through std::map, paying O(|set| · log n) element-wise comparisons per
+// lookup. This header centralizes one canonical 64-bit hash over int
+// sequences plus the building blocks the kernels share:
+//
+//  * HashIntSpan / IntVectorHash / StateSetHash — the canonical hash,
+//    usable directly as an unordered_map hasher for vector<int> keys
+//    (StateSets, Moore signatures, guard keys).
+//  * PackPair / U64Hash / IntPairHash — product searches walk pairs of
+//    small dense ids; packing two 32-bit ids into one uint64_t key keeps
+//    the table flat and the probe sequence cache-friendly.
+//  * StateSetInterner — an open-addressed table mapping sorted StateSets
+//    to dense ids with each set stored exactly once (std::map and
+//    unordered_map both duplicate the key per node). Backed by a deque so
+//    references returned by operator[] stay valid across inserts, which
+//    lets worklist algorithms hold the current set by reference while
+//    discovering new ones.
+#ifndef STAP_AUTOMATA_STATE_SET_HASH_H_
+#define STAP_AUTOMATA_STATE_SET_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "stap/automata/nfa.h"
+
+namespace stap {
+
+// splitmix64 finalizer: full-avalanche mixing of a 64-bit value.
+inline uint64_t MixU64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Canonical hash of an int sequence (order-sensitive; StateSets are
+// sorted, so equal sets hash equally).
+inline uint64_t HashIntSpan(const int* data, size_t size) {
+  uint64_t h = 0x243f6a8885a308d3ull ^ (size * 0x9e3779b97f4a7c15ull);
+  for (size_t i = 0; i < size; ++i) {
+    h = MixU64(h ^ static_cast<uint64_t>(static_cast<uint32_t>(data[i])));
+  }
+  return h;
+}
+
+// Hasher for unordered containers keyed by vector<int> (StateSets, Moore
+// signatures, ancestor-string guard keys).
+struct IntVectorHash {
+  size_t operator()(const std::vector<int>& v) const {
+    return static_cast<size_t>(HashIntSpan(v.data(), v.size()));
+  }
+};
+using StateSetHash = IntVectorHash;
+
+// Packs two dense non-negative ids into one table key.
+inline uint64_t PackPair(int a, int b) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+         static_cast<uint64_t>(static_cast<uint32_t>(b));
+}
+
+// Hasher for unordered containers keyed by packed pairs.
+struct U64Hash {
+  size_t operator()(uint64_t key) const {
+    return static_cast<size_t>(MixU64(key));
+  }
+};
+
+// Hasher for unordered containers keyed by std::pair<int, int>.
+struct IntPairHash {
+  size_t operator()(const std::pair<int, int>& p) const {
+    return static_cast<size_t>(MixU64(PackPair(p.first, p.second)));
+  }
+};
+
+// Maps StateSets to dense ids 0, 1, 2, … in insertion order. Open
+// addressing with linear probing over stored hashes; sets live in a
+// deque so ids and references are stable across inserts.
+class StateSetInterner {
+ public:
+  StateSetInterner();
+
+  // Interns `set`, returning (id, inserted). On a hit the argument is
+  // left untouched, so callers can keep reusing its capacity as a
+  // scratch buffer; on a miss it is moved into the table.
+  std::pair<int, bool> Intern(StateSet&& set);
+  std::pair<int, bool> Intern(const StateSet& set);
+
+  // The set with the given id. The reference stays valid across Intern
+  // calls (deque-backed storage).
+  const StateSet& operator[](int id) const { return sets_[id]; }
+
+  int size() const { return static_cast<int>(sets_.size()); }
+
+  // Moves all interned sets, in id order, onto the end of `*out`. The
+  // interner must not be used afterwards.
+  void MoveSetsInto(std::vector<StateSet>* out);
+
+ private:
+  // Slot holding `set` (same hash and equal contents), or the empty slot
+  // where it belongs.
+  size_t FindSlot(const StateSet& set, uint64_t hash) const;
+  void Grow();
+
+  std::deque<StateSet> sets_;     // id -> set
+  std::vector<uint64_t> hashes_;  // id -> full hash (avoids re-hashing)
+  std::vector<int32_t> table_;    // open addressing; -1 = empty
+};
+
+}  // namespace stap
+
+#endif  // STAP_AUTOMATA_STATE_SET_HASH_H_

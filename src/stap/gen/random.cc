@@ -128,6 +128,22 @@ Tree SampleAt(const DfaXsd& xsd, int state, int depth, int max_depth,
 
 }  // namespace
 
+Nfa RandomNfa(std::mt19937* rng, int num_states, int num_symbols,
+              int transitions_per_state) {
+  STAP_CHECK(num_states >= 1 && num_symbols >= 1);
+  STAP_CHECK(transitions_per_state >= 0);
+  Nfa nfa(num_states, num_symbols);
+  nfa.AddInitial(Pick(rng, num_states));
+  for (int q = 0; q < num_states; ++q) {
+    if (Chance(rng, 30)) nfa.SetFinal(q);
+    for (int i = 0; i < transitions_per_state; ++i) {
+      nfa.AddTransition(q, Pick(rng, num_symbols), Pick(rng, num_states));
+    }
+  }
+  nfa.SetFinal(Pick(rng, num_states));  // the language must be inhabited
+  return nfa;
+}
+
 std::optional<Word> SampleWord(const Dfa& dfa, std::mt19937* rng,
                                int soft_length) {
   if (dfa.num_states() == 0) return std::nullopt;
@@ -162,7 +178,7 @@ std::optional<Tree> SampleTree(const DfaXsd& xsd, std::mt19937* rng,
   std::vector<std::optional<Tree>> witness = WitnessTrees(xsd);
   std::vector<int> roots;
   for (int a : xsd.start_symbols) {
-    int q = xsd.automaton.Next(0, a);
+    int q = xsd.automaton.Next(xsd.automaton.initial(), a);
     if (q != kNoState && witness[q].has_value()) roots.push_back(q);
   }
   if (roots.empty()) return std::nullopt;
@@ -299,7 +315,7 @@ Edtd RandomNonRecursiveStEdtd(std::mt19937* rng,
       }
     }
     for (int a = 0; a < num_symbols; ++a) {
-      if (xsd.automaton.Next(0, a) != kNoState) {
+      if (xsd.automaton.Next(xsd.automaton.initial(), a) != kNoState) {
         StateSetInsert(xsd.start_symbols, a);
       }
     }
@@ -388,7 +404,7 @@ Edtd RandomStEdtd(std::mt19937* rng, const RandomSchemaParams& params) {
       }
     }
     for (int a = 0; a < num_symbols; ++a) {
-      if (xsd.automaton.Next(0, a) != kNoState) {
+      if (xsd.automaton.Next(xsd.automaton.initial(), a) != kNoState) {
         StateSetInsert(xsd.start_symbols, a);
       }
     }

@@ -59,6 +59,12 @@ std::optional<Tree> SampleTree(const DfaXsd& xsd, std::mt19937* rng,
 std::optional<Word> SampleWord(const Dfa& dfa, std::mt19937* rng,
                                int soft_length = 4);
 
+// A random NFA workload for kernel property tests and benchmarks: one
+// random initial state, ~30% final states (at least one), and
+// `transitions_per_state` uniformly random edges per state.
+Nfa RandomNfa(std::mt19937* rng, int num_states, int num_symbols,
+              int transitions_per_state = 2);
+
 }  // namespace stap
 
 #endif  // STAP_GEN_RANDOM_H_

@@ -64,7 +64,7 @@ double CountDocuments(const DfaXsd& xsd, int max_depth, int max_width) {
 
   double total = 0.0;
   for (int a : xsd.start_symbols) {
-    int q = xsd.automaton.Next(0, a);
+    int q = xsd.automaton.Next(xsd.automaton.initial(), a);
     if (q != kNoState) total += count[q];
   }
   return total;

@@ -1,10 +1,13 @@
 #include "stap/schema/minimize.h"
 
 #include <deque>
-#include <map>
+#include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "stap/automata/minimize.h"
+#include "stap/automata/state_set_hash.h"
 #include "stap/base/check.h"
 #include "stap/schema/reduce.h"
 #include "stap/schema/type_automaton.h"
@@ -19,7 +22,9 @@ namespace {
 DfaXsd DropUselessTransitions(const DfaXsd& xsd) {
   DfaXsd result = xsd;
   const int num_symbols = xsd.sigma.size();
-  for (int q = 1; q < xsd.automaton.num_states(); ++q) {
+  const int init = xsd.automaton.initial();
+  for (int q = 0; q < xsd.automaton.num_states(); ++q) {
+    if (q == init) continue;
     Dfa trimmed = xsd.content[q].Trimmed();
     std::vector<bool> occurs(num_symbols, false);
     for (int s = 0; s < trimmed.num_states(); ++s) {
@@ -34,20 +39,21 @@ DfaXsd DropUselessTransitions(const DfaXsd& xsd) {
   // From q_init only start symbols matter.
   for (int a = 0; a < num_symbols; ++a) {
     if (!StateSetContains(xsd.start_symbols, a)) {
-      result.automaton.SetTransition(0, a, kNoState);
+      result.automaton.SetTransition(init, a, kNoState);
     }
   }
   return result;
 }
 
-// BFS canonical renumbering (state 0 stays q_init).
+// BFS canonical renumbering (q_init becomes state 0).
 DfaXsd Canonicalize(const DfaXsd& xsd) {
   const int n = xsd.automaton.num_states();
   const int num_symbols = xsd.sigma.size();
+  const int init = xsd.automaton.initial();
   std::vector<int> remap(n, kNoState);
-  std::vector<int> order = {0};
-  remap[0] = 0;
-  std::deque<int> queue = {0};
+  std::vector<int> order = {init};
+  remap[init] = 0;
+  std::deque<int> queue = {init};
   while (!queue.empty()) {
     int q = queue.front();
     queue.pop_front();
@@ -93,23 +99,27 @@ DfaXsd MinimizeXsd(const DfaXsd& input) {
   // Step 2: initial partition by (label, content language). Content DFAs
   // are canonical minimal automata here, so structural equality decides
   // language equality. q_init always forms its own block.
-  std::map<std::pair<int, std::string>, int> block_ids;
+  std::unordered_map<std::string, int> block_ids;
   std::vector<int> block(n);
   block[0] = 0;
-  block_ids[{kNoSymbol, ""}] = 0;
+  block_ids.emplace("", 0);
   for (int q = 1; q < n; ++q) {
-    auto key = std::make_pair(xsd.state_label[q], xsd.content[q].ToString());
-    auto [it, inserted] = block_ids.emplace(key, block_ids.size());
+    std::string key =
+        std::to_string(xsd.state_label[q]) + "\n" + xsd.content[q].ToString();
+    auto [it, inserted] = block_ids.emplace(std::move(key), block_ids.size());
     block[q] = it->second;
   }
   int num_blocks = static_cast<int>(block_ids.size());
 
-  // Step 3: refine by successor blocks until stable.
+  // Step 3: refine by successor blocks until stable (hashed signatures,
+  // as in automata/minimize.cc).
+  std::vector<int> signature;
   while (true) {
-    std::map<std::vector<int>, int> signature_ids;
+    std::unordered_map<std::vector<int>, int, IntVectorHash> signature_ids;
+    signature_ids.reserve(static_cast<size_t>(n));
     std::vector<int> next_block(n);
     for (int q = 0; q < n; ++q) {
-      std::vector<int> signature;
+      signature.clear();
       signature.reserve(num_symbols + 1);
       signature.push_back(block[q]);
       for (int a = 0; a < num_symbols; ++a) {

@@ -1,11 +1,12 @@
 #include "stap/schema/nfa_schema.h"
 
-#include <map>
+#include <unordered_set>
 #include <utility>
 
 #include "stap/automata/determinize.h"
 #include "stap/automata/inclusion.h"
 #include "stap/automata/minimize.h"
+#include "stap/automata/state_set_hash.h"
 #include "stap/base/check.h"
 #include "stap/regex/glushkov.h"
 #include "stap/regex/parser.h"
@@ -172,11 +173,10 @@ bool IncludedInSingleTypeNfa(const EdtdNfa& d1, const EdtdNfa& d2) {
   }
 
   // Pair walk (Lemma 5.1): (state of A1, state of A2); A2 deterministic.
-  std::map<std::pair<int, int>, bool> seen;
+  std::unordered_set<uint64_t, U64Hash> seen;
   std::vector<std::pair<int, int>> worklist;
   auto visit = [&](int s1, int s2) {
-    auto [it, inserted] = seen.emplace(std::make_pair(s1, s2), true);
-    if (inserted) worklist.emplace_back(s1, s2);
+    if (seen.insert(PackPair(s1, s2)).second) worklist.emplace_back(s1, s2);
   };
   visit(0, 0);
   size_t processed = 0;

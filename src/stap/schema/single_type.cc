@@ -12,15 +12,37 @@ namespace stap {
 
 namespace {
 
-bool AcceptsAt(const DfaXsd& xsd, const Tree& node, int state) {
+// Explicit-stack pre-order walk; document depth is bounded only by memory,
+// not by the call stack.
+bool AcceptsAt(const DfaXsd& xsd, const Tree& root, int root_state) {
+  struct Frame {
+    const Tree* node;
+    int state;
+    size_t next_child;
+  };
   Word child_string;
-  child_string.reserve(node.children.size());
-  for (const Tree& child : node.children) child_string.push_back(child.label);
-  if (!xsd.content[state].Accepts(child_string)) return false;
-  for (const Tree& child : node.children) {
-    int child_state = xsd.automaton.Next(state, child.label);
+  auto content_ok = [&](const Tree& node, int state) {
+    child_string.clear();
+    child_string.reserve(node.children.size());
+    for (const Tree& child : node.children) {
+      child_string.push_back(child.label);
+    }
+    return xsd.content[state].Accepts(child_string);
+  };
+  if (!content_ok(root, root_state)) return false;
+  std::vector<Frame> stack;
+  stack.push_back(Frame{&root, root_state, 0});
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next_child == frame.node->children.size()) {
+      stack.pop_back();
+      continue;
+    }
+    const Tree& child = frame.node->children[frame.next_child++];
+    int child_state = xsd.automaton.Next(frame.state, child.label);
     if (child_state == kNoState) return false;
-    if (!AcceptsAt(xsd, child, child_state)) return false;
+    if (!content_ok(child, child_state)) return false;
+    stack.push_back(Frame{&child, child_state, 0});
   }
   return true;
 }
@@ -30,34 +52,38 @@ bool AcceptsAt(const DfaXsd& xsd, const Tree& node, int state) {
 int64_t DfaXsd::Size() const {
   int64_t total = sigma.size() + static_cast<int64_t>(start_symbols.size()) +
                   automaton.Size();
-  for (size_t q = 1; q < content.size(); ++q) total += content[q].Size();
+  for (size_t q = 0; q < content.size(); ++q) {
+    if (static_cast<int>(q) == automaton.initial()) continue;
+    total += content[q].Size();
+  }
   return total;
 }
 
 bool DfaXsd::Accepts(const Tree& tree) const {
   if (tree.label < 0 || tree.label >= sigma.size()) return false;
   if (!StateSetContains(start_symbols, tree.label)) return false;
-  int state = automaton.Next(0, tree.label);
+  int state = automaton.Next(automaton.initial(), tree.label);
   if (state == kNoState) return false;
   return AcceptsAt(*this, tree, state);
 }
 
 void DfaXsd::CheckWellFormed() const {
   STAP_CHECK(automaton.num_states() >= 1);
-  STAP_CHECK(automaton.initial() == 0);
+  const int init = automaton.initial();
+  STAP_CHECK(init >= 0 && init < automaton.num_states());
   STAP_CHECK(static_cast<int>(state_label.size()) == automaton.num_states());
   STAP_CHECK(static_cast<int>(content.size()) == automaton.num_states());
-  STAP_CHECK(state_label[0] == kNoSymbol);
+  STAP_CHECK(state_label[init] == kNoSymbol);
   STAP_CHECK(automaton.num_symbols() == sigma.size());
   for (int q = 0; q < automaton.num_states(); ++q) {
     for (int a = 0; a < sigma.size(); ++a) {
       int r = automaton.Next(q, a);
       if (r != kNoState) {
-        STAP_CHECK(r != 0);  // q_init has no incoming transitions
+        STAP_CHECK(r != init);  // q_init has no incoming transitions
         STAP_CHECK(state_label[r] == a);  // state-labeled
       }
     }
-    if (q > 0) STAP_CHECK(content[q].num_symbols() == sigma.size());
+    if (q != init) STAP_CHECK(content[q].num_symbols() == sigma.size());
   }
 }
 
@@ -69,7 +95,8 @@ std::string DfaXsd::ToString() const {
     os << sigma.Name(start_symbols[i]);
   }
   os << "} states=" << automaton.num_states() << "\n";
-  for (int q = 1; q < automaton.num_states(); ++q) {
+  for (int q = 0; q < automaton.num_states(); ++q) {
+    if (q == automaton.initial()) continue;
     os << "  state " << q << " [" << sigma.Name(state_label[q])
        << "] content DFA(" << content[q].num_states() << ")\n";
   }
@@ -118,30 +145,44 @@ DfaXsd DfaXsdFromStEdtd(const Edtd& edtd) {
 Edtd StEdtdFromDfaXsd(const DfaXsd& xsd) {
   xsd.CheckWellFormed();
   const int num_states = xsd.automaton.num_states();
+  const int init = xsd.automaton.initial();
+
+  // Types are the non-initial states, numbered in state order. With the
+  // usual layout (q_init = 0) this keeps the historical mapping "type of
+  // state q is q - 1".
+  std::vector<int> type_of_state(num_states, -1);
+  std::vector<int> state_of_type;
+  state_of_type.reserve(num_states > 0 ? num_states - 1 : 0);
+  for (int q = 0; q < num_states; ++q) {
+    if (q == init) continue;
+    type_of_state[q] = static_cast<int>(state_of_type.size());
+    state_of_type.push_back(q);
+  }
+  const int num_types = static_cast<int>(state_of_type.size());
 
   Edtd edtd;
   edtd.sigma = xsd.sigma;
-  // Type ids are state ids shifted by one: type of state q is q - 1.
-  for (int q = 1; q < num_states; ++q) {
+  for (int q : state_of_type) {
     edtd.types.Intern(xsd.sigma.Name(xsd.state_label[q]) + "@" +
                       std::to_string(q));
     edtd.mu.push_back(xsd.state_label[q]);
   }
-  const int num_types = num_states - 1;
 
   for (int a : xsd.start_symbols) {
-    int q = xsd.automaton.Next(0, a);
-    if (q != kNoState) StateSetInsert(edtd.start_types, q - 1);
+    int q = xsd.automaton.Next(init, a);
+    if (q != kNoState) StateSetInsert(edtd.start_types, type_of_state[q]);
   }
 
   edtd.content.reserve(num_types);
-  for (int q = 1; q < num_states; ++q) {
+  for (int q : state_of_type) {
     // Lift content[q] from Σ to types: symbol a becomes the unique type
-    // δ(q, a) - 1 when that transition exists.
+    // reached via δ(q, a) when that transition exists.
     std::vector<int> type_to_symbol(num_types, kNoSymbol);
     for (int tau = 0; tau < num_types; ++tau) {
-      int a = xsd.state_label[tau + 1];
-      if (xsd.automaton.Next(q, a) == tau + 1) type_to_symbol[tau] = a;
+      int a = xsd.state_label[state_of_type[tau]];
+      if (xsd.automaton.Next(q, a) == state_of_type[tau]) {
+        type_to_symbol[tau] = a;
+      }
     }
     edtd.content.push_back(Minimize(
         InverseHomomorphism(xsd.content[q], type_to_symbol, num_types)));

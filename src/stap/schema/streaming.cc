@@ -36,7 +36,7 @@ bool StreamingValidator::StartElement(int symbol) {
       return false;
     }
   }
-  int from = stack_.empty() ? 0 : stack_.back().xsd_state;
+  int from = stack_.empty() ? xsd_->automaton.initial() : stack_.back().xsd_state;
   int state = xsd_->automaton.Next(from, symbol);
   if (state == kNoState) {
     ok_ = false;
@@ -68,19 +68,28 @@ bool StreamingValidator::EndDocument() {
   return ok_ && saw_root_ && stack_.empty();
 }
 
-namespace {
-
-void Feed(StreamingValidator* validator, const Tree& tree) {
-  if (!validator->StartElement(tree.label)) return;
-  for (const Tree& child : tree.children) Feed(validator, child);
-  validator->EndElement();
-}
-
-}  // namespace
-
 bool ValidateStreaming(const DfaXsd& xsd, const Tree& tree) {
   StreamingValidator validator(&xsd);
-  Feed(&validator, tree);
+  // Explicit-stack event generation: documents can be deeper than the
+  // call stack allows. As in the recursive version, an element whose
+  // StartElement is rejected gets no matching EndElement (the validator
+  // is already latched to rejected at that point).
+  struct Frame {
+    const Tree* node;
+    size_t next_child;
+  };
+  std::vector<Frame> stack;
+  if (validator.StartElement(tree.label)) stack.push_back(Frame{&tree, 0});
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next_child == frame.node->children.size()) {
+      validator.EndElement();
+      stack.pop_back();
+      continue;
+    }
+    const Tree& child = frame.node->children[frame.next_child++];
+    if (validator.StartElement(child.label)) stack.push_back(Frame{&child, 0});
+  }
   return validator.EndDocument();
 }
 

@@ -160,7 +160,7 @@ std::optional<Typing> AssignTypes(const DfaXsd& xsd, const Tree& tree) {
       !StateSetContains(xsd.start_symbols, tree.label)) {
     return std::nullopt;
   }
-  int state = xsd.automaton.Next(0, tree.label);
+  int state = xsd.automaton.Next(xsd.automaton.initial(), tree.label);
   if (state == kNoState) return std::nullopt;
   Typing typing;
   bool ok = true;

@@ -1,53 +1,29 @@
 #include "stap/schema/validate.h"
 
+#include <algorithm>
 #include <sstream>
 
 namespace stap {
 
 namespace {
 
+// Diagnostics on wide elements stay bounded: child strings longer than
+// this are truncated with an ellipsis and a count of the omitted tail.
+constexpr size_t kMaxFormattedSymbols = 32;
+
 std::string FormatWord(const Word& word, const Alphabet& alphabet) {
   std::ostringstream os;
   os << "[";
-  for (size_t i = 0; i < word.size(); ++i) {
+  const size_t shown = std::min(word.size(), kMaxFormattedSymbols);
+  for (size_t i = 0; i < shown; ++i) {
     if (i > 0) os << " ";
     os << alphabet.Name(word[i]);
   }
+  if (word.size() > shown) {
+    os << " ... (+" << word.size() - shown << " more)";
+  }
   os << "]";
   return os.str();
-}
-
-bool ValidateAt(const DfaXsd& xsd, const Tree& node, int state, TreePath* path,
-                ValidationResult* result) {
-  Word child_string;
-  child_string.reserve(node.children.size());
-  for (const Tree& child : node.children) child_string.push_back(child.label);
-  if (!xsd.content[state].Accepts(child_string)) {
-    result->ok = false;
-    result->violation_path = *path;
-    result->message = "child string " + FormatWord(child_string, xsd.sigma) +
-                      " of element <" + xsd.sigma.Name(node.label) +
-                      "> does not match its content model";
-    return false;
-  }
-  for (size_t i = 0; i < node.children.size(); ++i) {
-    const Tree& child = node.children[i];
-    int child_state = xsd.automaton.Next(state, child.label);
-    if (child_state == kNoState) {
-      result->ok = false;
-      path->push_back(static_cast<int>(i));
-      result->violation_path = *path;
-      path->pop_back();
-      result->message = "element <" + xsd.sigma.Name(child.label) +
-                        "> is not declared in this context";
-      return false;
-    }
-    path->push_back(static_cast<int>(i));
-    bool ok = ValidateAt(xsd, child, child_state, path, result);
-    path->pop_back();
-    if (!ok) return false;
-  }
-  return true;
 }
 
 }  // namespace
@@ -60,14 +36,63 @@ ValidationResult ValidateWithDiagnostics(const DfaXsd& xsd, const Tree& tree) {
     result.message = "root element is not an allowed start symbol";
     return result;
   }
-  int state = xsd.automaton.Next(0, tree.label);
+  int state = xsd.automaton.Next(xsd.automaton.initial(), tree.label);
   if (state == kNoState) {
     result.ok = false;
     result.message = "root element has no declaration";
     return result;
   }
-  TreePath path;
-  ValidateAt(xsd, tree, state, &path, &result);
+
+  // Explicit-stack pre-order walk: documents are only bounded by memory,
+  // so recursion over the tree (depth up to millions of nodes on
+  // path-shaped documents) is not an option.
+  struct Frame {
+    const Tree* node;
+    int state;
+    size_t next_child;
+  };
+  std::vector<Frame> stack;
+  TreePath path;  // path of stack.back(); empty for the root frame
+
+  auto content_ok = [&](const Tree& node, int node_state) {
+    Word child_string;
+    child_string.reserve(node.children.size());
+    for (const Tree& child : node.children) {
+      child_string.push_back(child.label);
+    }
+    if (xsd.content[node_state].Accepts(child_string)) return true;
+    result.ok = false;
+    result.violation_path = path;
+    result.message = "child string " + FormatWord(child_string, xsd.sigma) +
+                     " of element <" + xsd.sigma.Name(node.label) +
+                     "> does not match its content model";
+    return false;
+  };
+
+  if (!content_ok(tree, state)) return result;
+  stack.push_back(Frame{&tree, state, 0});
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    const Tree& node = *frame.node;
+    if (frame.next_child == node.children.size()) {
+      stack.pop_back();
+      if (!path.empty()) path.pop_back();
+      continue;
+    }
+    const size_t i = frame.next_child++;
+    const Tree& child = node.children[i];
+    path.push_back(static_cast<int>(i));
+    int child_state = xsd.automaton.Next(frame.state, child.label);
+    if (child_state == kNoState) {
+      result.ok = false;
+      result.violation_path = path;
+      result.message = "element <" + xsd.sigma.Name(child.label) +
+                       "> is not declared in this context";
+      return result;
+    }
+    if (!content_ok(child, child_state)) return result;
+    stack.push_back(Frame{&child, child_state, 0});
+  }
   return result;
 }
 

@@ -297,7 +297,7 @@ std::string ExportXsd(const DfaXsd& xsd, const XsdExportOptions& options) {
       {"xmlns:xs", "http://www.w3.org/2001/XMLSchema"});
 
   for (int a : xsd.start_symbols) {
-    int state = xsd.automaton.Next(0, a);
+    int state = xsd.automaton.Next(xsd.automaton.initial(), a);
     if (state == kNoState) continue;
     XmlElement global;
     global.name = "xs:element";

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 #include <sstream>
+#include <utility>
 
 #include "stap/base/check.h"
 
@@ -19,18 +20,45 @@ Tree Tree::Unary(const Word& word) {
   return result;
 }
 
+Tree::~Tree() {
+  // Hoist grandchildren into this node's child list before letting the
+  // vector destructor run, so teardown never descends more than one level
+  // at a time regardless of document depth. Each popped child has already
+  // been emptied, so its own destructor is trivial; total work stays O(n).
+  while (!children.empty()) {
+    Tree child = std::move(children.back());
+    children.pop_back();
+    while (!child.children.empty()) {
+      children.push_back(std::move(child.children.back()));
+      child.children.pop_back();
+    }
+  }
+}
+
 int Tree::NumNodes() const {
-  int count = 1;
-  for (const Tree& child : children) count += child.NumNodes();
+  int count = 0;
+  std::vector<const Tree*> stack = {this};
+  while (!stack.empty()) {
+    const Tree* node = stack.back();
+    stack.pop_back();
+    ++count;
+    for (const Tree& child : node->children) stack.push_back(&child);
+  }
   return count;
 }
 
 int Tree::Depth() const {
-  int max_child = 0;
-  for (const Tree& child : children) {
-    max_child = std::max(max_child, child.Depth());
+  int max_depth = 1;
+  std::vector<std::pair<const Tree*, int>> stack = {{this, 1}};
+  while (!stack.empty()) {
+    auto [node, depth] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, depth);
+    for (const Tree& child : node->children) {
+      stack.push_back({&child, depth + 1});
+    }
   }
-  return 1 + max_child;
+  return max_depth;
 }
 
 const Tree& Tree::At(const TreePath& path) const {

@@ -28,6 +28,17 @@ struct Tree {
   Tree(int label, std::vector<Tree> children)
       : label(label), children(std::move(children)) {}
 
+  // The destructor flattens the subtree iteratively: the implicit
+  // (recursive) teardown of vector<Tree> overflows the call stack on
+  // path-shaped documents hundreds of thousands of nodes deep. Declaring
+  // it suppresses the implicit copy/move members, so they are defaulted
+  // explicitly.
+  ~Tree();
+  Tree(const Tree&) = default;
+  Tree(Tree&&) noexcept = default;
+  Tree& operator=(const Tree&) = default;
+  Tree& operator=(Tree&&) noexcept = default;
+
   // Builds a unary ("linear") tree whose root-to-leaf labels spell `word`.
   // Require: word non-empty.
   static Tree Unary(const Word& word);

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <sstream>
+#include <utility>
 #include <vector>
 
 namespace stap {
@@ -96,13 +97,14 @@ class XmlParser {
     return XmlAttribute{*std::move(name), std::move(value)};
   }
 
-  StatusOr<XmlElement> ParseElement() {
+  // Parses an opening tag through its '>' or '/>': name plus attributes.
+  StatusOr<XmlElement> ParseOpenTag(bool* self_closing) {
     if (!Peek("<")) return Error("expected '<'");
     ++pos_;
     StatusOr<std::string> name = ParseName();
     if (!name.ok()) return name.status();
     XmlElement element;
-    element.name = *name;
+    element.name = *std::move(name);
 
     while (true) {
       SkipWhitespace();
@@ -117,33 +119,57 @@ class XmlParser {
     }
     if (Peek("/>")) {
       pos_ += 2;
-      return element;
+      *self_closing = true;
+    } else {
+      ++pos_;  // '>'
+      *self_closing = false;
     }
-    ++pos_;  // '>'
-
-    // Children until the closing tag.
-    while (true) {
-      SkipMisc();
-      if (pos_ >= input_.size()) return Error("unexpected end of input");
-      if (Peek("</")) break;
-      if (!Peek("<")) {
-        return Error("text content is not supported by the tree model");
-      }
-      StatusOr<XmlElement> child = ParseElement();
-      if (!child.ok()) return child;
-      element.children.push_back(*std::move(child));
-    }
-    pos_ += 2;  // "</"
-    StatusOr<std::string> closing = ParseName();
-    if (!closing.ok()) return closing.status();
-    if (*closing != element.name) {
-      return Error("mismatched closing tag </" + *closing + "> for <" +
-                   element.name + ">");
-    }
-    SkipWhitespace();
-    if (!Peek(">")) return Error("expected '>' after closing tag name");
-    ++pos_;
     return element;
+  }
+
+  // Iterative: the open-element ancestry lives on an explicit stack, so
+  // document depth is bounded by memory rather than the call stack.
+  StatusOr<XmlElement> ParseElement() {
+    std::vector<XmlElement> open;
+    while (true) {
+      // An element opens here.
+      bool self_closing = false;
+      StatusOr<XmlElement> element = ParseOpenTag(&self_closing);
+      if (!element.ok()) return element;
+      if (self_closing) {
+        if (open.empty()) return element;
+        open.back().children.push_back(*std::move(element));
+      } else {
+        open.push_back(*std::move(element));
+      }
+      // Content of the innermost open element: closing tags pop, a child
+      // opening tag loops back around.
+      while (!open.empty()) {
+        SkipMisc();
+        if (pos_ >= input_.size()) return Error("unexpected end of input");
+        if (Peek("</")) {
+          pos_ += 2;
+          StatusOr<std::string> closing = ParseName();
+          if (!closing.ok()) return closing.status();
+          if (*closing != open.back().name) {
+            return Error("mismatched closing tag </" + *closing + "> for <" +
+                         open.back().name + ">");
+          }
+          SkipWhitespace();
+          if (!Peek(">")) return Error("expected '>' after closing tag name");
+          ++pos_;
+          XmlElement closed = std::move(open.back());
+          open.pop_back();
+          if (open.empty()) return closed;
+          open.back().children.push_back(std::move(closed));
+          continue;
+        }
+        if (!Peek("<")) {
+          return Error("text content is not supported by the tree model");
+        }
+        break;  // a child element opens
+      }
+    }
   }
 
   std::string_view input_;
@@ -153,40 +179,85 @@ class XmlParser {
 
 void SerializeElement(const XmlElement& element, int indent,
                       std::ostringstream& os) {
-  for (int i = 0; i < indent; ++i) os << "  ";
-  os << "<" << element.name;
-  for (const XmlAttribute& attribute : element.attributes) {
-    os << " " << attribute.name << "=\"" << attribute.value << "\"";
+  struct Frame {
+    const XmlElement* element;
+    size_t next_child;
+  };
+  std::vector<Frame> stack;
+  stack.push_back(Frame{&element, 0});
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    const XmlElement& e = *frame.element;
+    const int depth = indent + static_cast<int>(stack.size()) - 1;
+    if (frame.next_child == 0) {
+      for (int i = 0; i < depth; ++i) os << "  ";
+      os << "<" << e.name;
+      for (const XmlAttribute& attribute : e.attributes) {
+        os << " " << attribute.name << "=\"" << attribute.value << "\"";
+      }
+      if (e.children.empty()) {
+        os << "/>\n";
+        stack.pop_back();
+        continue;
+      }
+      os << ">\n";
+    }
+    if (frame.next_child == e.children.size()) {
+      for (int i = 0; i < depth; ++i) os << "  ";
+      os << "</" << e.name << ">\n";
+      stack.pop_back();
+      continue;
+    }
+    stack.push_back(Frame{&e.children[frame.next_child++], 0});
   }
-  if (element.children.empty()) {
-    os << "/>\n";
-    return;
-  }
-  os << ">\n";
-  for (const XmlElement& child : element.children) {
-    SerializeElement(child, indent + 1, os);
-  }
-  for (int i = 0; i < indent; ++i) os << "  ";
-  os << "</" << element.name << ">\n";
 }
 
 void SerializeTree(const Tree& tree, const Alphabet& alphabet, int indent,
                    std::ostringstream& os) {
-  for (int i = 0; i < indent; ++i) os << "  ";
-  const std::string& name = alphabet.Name(tree.label);
-  if (tree.IsLeaf()) {
-    os << "<" << name << "/>\n";
-    return;
+  struct Frame {
+    const Tree* node;
+    size_t next_child;
+  };
+  std::vector<Frame> stack;
+  stack.push_back(Frame{&tree, 0});
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    const Tree& node = *frame.node;
+    const std::string& name = alphabet.Name(node.label);
+    const int depth = indent + static_cast<int>(stack.size()) - 1;
+    if (frame.next_child == 0) {
+      for (int i = 0; i < depth; ++i) os << "  ";
+      if (node.IsLeaf()) {
+        os << "<" << name << "/>\n";
+        stack.pop_back();
+        continue;
+      }
+      os << "<" << name << ">\n";
+    }
+    if (frame.next_child == node.children.size()) {
+      for (int i = 0; i < depth; ++i) os << "  ";
+      os << "</" << name << ">\n";
+      stack.pop_back();
+      continue;
+    }
+    stack.push_back(Frame{&node.children[frame.next_child++], 0});
   }
-  os << "<" << name << ">\n";
-  for (const Tree& child : tree.children) {
-    SerializeTree(child, alphabet, indent + 1, os);
-  }
-  for (int i = 0; i < indent; ++i) os << "  ";
-  os << "</" << name << ">\n";
 }
 
 }  // namespace
+
+// Same grandchild-hoisting scheme as Tree::~Tree: flatten descendants into
+// this node's child list so vector teardown never recurses.
+XmlElement::~XmlElement() {
+  while (!children.empty()) {
+    XmlElement child = std::move(children.back());
+    children.pop_back();
+    while (!child.children.empty()) {
+      children.push_back(std::move(child.children.back()));
+      child.children.pop_back();
+    }
+  }
+}
 
 const std::string* XmlElement::FindAttribute(
     std::string_view attribute_name) const {
@@ -207,12 +278,31 @@ std::string XmlElementToString(const XmlElement& element) {
 }
 
 Tree TreeFromXmlElement(const XmlElement& element, Alphabet* alphabet) {
-  Tree tree(alphabet->Intern(element.name));
-  tree.children.reserve(element.children.size());
-  for (const XmlElement& child : element.children) {
-    tree.children.push_back(TreeFromXmlElement(child, alphabet));
+  Tree root(alphabet->Intern(element.name));
+  struct Frame {
+    const XmlElement* source;
+    Tree* target;
+    size_t next_child;
+  };
+  std::vector<Frame> stack;
+  // Each target's child vector is reserved to its final size before any
+  // child frame is pushed, so the Tree* pointers below stay stable.
+  auto open = [&stack](const XmlElement& source, Tree* target) {
+    target->children.reserve(source.children.size());
+    stack.push_back(Frame{&source, target, 0});
+  };
+  open(element, &root);
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next_child == frame.source->children.size()) {
+      stack.pop_back();
+      continue;
+    }
+    const XmlElement& child = frame.source->children[frame.next_child++];
+    frame.target->children.emplace_back(alphabet->Intern(child.name));
+    open(child, &frame.target->children.back());
   }
-  return tree;
+  return root;
 }
 
 StatusOr<Tree> ParseXml(std::string_view input, Alphabet* alphabet) {

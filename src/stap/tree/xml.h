@@ -29,6 +29,15 @@ struct XmlElement {
   std::vector<XmlAttribute> attributes;
   std::vector<XmlElement> children;
 
+  // Iterative teardown: the implicit destructor recurses through
+  // `children` and overflows the call stack on deeply nested documents.
+  XmlElement() = default;
+  ~XmlElement();
+  XmlElement(const XmlElement&) = default;
+  XmlElement(XmlElement&&) noexcept = default;
+  XmlElement& operator=(const XmlElement&) = default;
+  XmlElement& operator=(XmlElement&&) noexcept = default;
+
   // The attribute's value, or nullptr if absent.
   const std::string* FindAttribute(std::string_view attribute_name) const;
 };

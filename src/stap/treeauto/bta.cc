@@ -1,7 +1,9 @@
 #include "stap/treeauto/bta.h"
 
 #include <algorithm>
+#include <unordered_map>
 
+#include "stap/automata/state_set_hash.h"
 #include "stap/base/check.h"
 
 namespace stap {
@@ -126,7 +128,7 @@ DetBta DeterminizeBta(const Bta& bta) {
   DetBta det;
   det.num_symbols_ = bta.num_symbols();
 
-  std::map<StateSet, int> ids;
+  std::unordered_map<StateSet, int, StateSetHash> ids;
   auto intern = [&](const StateSet& subset) -> int {
     auto [it, inserted] = ids.emplace(subset, det.subsets_.size());
     if (inserted) {

@@ -1,9 +1,10 @@
 #include "stap/treeauto/exact.h"
 
-#include <map>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "stap/automata/state_set_hash.h"
 #include "stap/base/check.h"
 #include "stap/treeauto/bta.h"
 #include "stap/treeauto/encoding.h"
@@ -22,7 +23,7 @@ std::optional<Tree> ProductCounterexample(const Bta& bta1, const DetBta& det2,
     int s2;
     Tree witness;
   };
-  std::map<std::pair<int, int>, int> ids;
+  std::unordered_map<std::pair<int, int>, int, IntPairHash> ids;
   std::vector<Node> nodes;
   std::optional<Tree> counterexample;
 

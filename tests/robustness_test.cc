@@ -8,9 +8,14 @@
 
 #include "stap/automata/dot.h"
 #include "stap/regex/parser.h"
+#include "stap/schema/builder.h"
 #include "stap/schema/dtd_io.h"
 #include "stap/schema/nfa_schema.h"
+#include "stap/schema/reduce.h"
+#include "stap/schema/single_type.h"
+#include "stap/schema/streaming.h"
 #include "stap/schema/text_format.h"
+#include "stap/schema/validate.h"
 #include "stap/schema/xsd_io.h"
 #include "stap/tree/xml.h"
 
@@ -65,6 +70,69 @@ TEST(FuzzTest, TruncationsOfValidInputsFailCleanly) {
   for (size_t cut = 0; cut < dtd.size(); ++cut) {
     (void)ParseDtd(dtd.substr(0, cut));
   }
+}
+
+// Validation walks (tree and streaming) and the Tree special members must
+// all be iterative: a path-shaped document deeper than the OS stack limit
+// would otherwise crash in validation or even in the Tree destructor.
+TEST(DeepDocumentTest, PathTreeDepth150kValidatesWithoutStackOverflow) {
+  SchemaBuilder builder;
+  builder.AddType("X", "x", "X | Y | %");
+  builder.AddType("Y", "y", "%");
+  builder.AddStart("X");
+  Edtd edtd = ReduceEdtd(builder.Build());
+  DfaXsd xsd = DfaXsdFromStEdtd(edtd);
+  const int x = xsd.sigma.Find("x");
+  const int y = xsd.sigma.Find("y");
+
+  constexpr int kDepth = 150000;
+  Word deep_word(kDepth, x);
+  deep_word.push_back(y);
+  Tree deep = Tree::Unary(deep_word);
+  EXPECT_EQ(deep.Depth(), kDepth + 1);
+  EXPECT_EQ(deep.NumNodes(), kDepth + 1);
+  EXPECT_TRUE(xsd.Accepts(deep));
+  EXPECT_TRUE(ValidateWithDiagnostics(xsd, deep).ok);
+  EXPECT_TRUE(ValidateStreaming(xsd, deep));
+
+  // An interior <y> violates its (empty) content model kDepth/2 levels
+  // below the root; the walk must descend that far to find it.
+  Word broken_word = deep_word;
+  broken_word[kDepth / 2] = y;
+  Tree broken = Tree::Unary(broken_word);
+  EXPECT_FALSE(xsd.Accepts(broken));
+  ValidationResult result = ValidateWithDiagnostics(xsd, broken);
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(static_cast<int>(result.violation_path.size()), kDepth / 2);
+  EXPECT_FALSE(ValidateStreaming(xsd, broken));
+  // `deep` and `broken` are destroyed here; the iterative ~Tree keeps that
+  // from recursing kDepth frames deep.
+}
+
+// The XML reader feeds the validators at the CLI surface, so it has to
+// survive the same depths they do: parsing, DOM-to-tree conversion, and
+// XmlElement teardown are all iterative.
+TEST(DeepDocumentTest, ParsesDepth150kXmlWithoutStackOverflow) {
+  constexpr int kDepth = 150000;
+  std::string xml;
+  xml.reserve(kDepth * 9 + 8);
+  for (int i = 0; i < kDepth; ++i) xml += "<x>";
+  xml += "<y/>";
+  for (int i = 0; i < kDepth; ++i) xml += "</x>";
+
+  Alphabet alphabet;
+  StatusOr<Tree> tree = ParseXml(xml, &alphabet);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->Depth(), kDepth + 1);
+  EXPECT_EQ(tree->NumNodes(), kDepth + 1);
+
+  StatusOr<XmlElement> document = ParseXmlDocument(xml);
+  ASSERT_TRUE(document.ok());
+
+  // Unbalanced nesting must still fail cleanly at depth.
+  std::string truncated = xml.substr(0, xml.size() - 4);
+  EXPECT_FALSE(ParseXml(truncated, &alphabet).ok());
+  // `tree` and `document` are torn down here without recursing.
 }
 
 TEST(DotTest, RendersDfaAndNfa) {

@@ -2,10 +2,14 @@
 // validation.
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "stap/gen/families.h"
 #include "stap/schema/builder.h"
 #include "stap/schema/reduce.h"
 #include "stap/schema/single_type.h"
+#include "stap/schema/streaming.h"
 #include "stap/schema/type_automaton.h"
 #include "stap/schema/validate.h"
 #include "stap/tree/enumerate.h"
@@ -71,6 +75,47 @@ TEST(DfaXsdTest, SizeAndWellFormedness) {
   EXPECT_GT(xsd.Size(), xsd.type_size());
 }
 
+TEST(DfaXsdTest, NonZeroInitialStateValidates) {
+  // A hand-built XSD whose q_init is the highest-numbered state instead of
+  // state 0. Every validator must route the root lookup through
+  // automaton.initial(); the old code hard-coded state 0 and either
+  // aborted in CheckWellFormed or rejected every document.
+  DfaXsd xsd;
+  xsd.sigma = Alphabet({"a", "b"});
+  const int a = 0, b = 1;
+  Dfa automaton(3, 2);
+  automaton.SetInitial(2);
+  automaton.SetTransition(2, a, 1);  // root <a> is typed by state 1
+  automaton.SetTransition(1, b, 0);  // <b> under <a> is typed by state 0
+  xsd.automaton = automaton;
+  xsd.state_label = {b, a, kNoSymbol};
+  xsd.content.resize(3, Dfa::EpsilonOnly(2));
+  Dfa b_optional(2, 2);  // content of <a>: "b?"
+  b_optional.SetTransition(0, b, 1);
+  b_optional.SetFinal(0);
+  b_optional.SetFinal(1);
+  xsd.content[1] = b_optional;
+  xsd.start_symbols = {a};
+  xsd.CheckWellFormed();
+
+  Tree good(a, {Tree(b)});
+  Tree bad(a, {Tree(a)});
+  EXPECT_TRUE(xsd.Accepts(good));
+  EXPECT_TRUE(xsd.Accepts(Tree(a)));
+  EXPECT_FALSE(xsd.Accepts(bad));
+  EXPECT_FALSE(xsd.Accepts(Tree(b)));
+
+  EXPECT_TRUE(ValidateWithDiagnostics(xsd, good).ok);
+  EXPECT_FALSE(ValidateWithDiagnostics(xsd, bad).ok);
+  EXPECT_TRUE(ValidateStreaming(xsd, good));
+  EXPECT_FALSE(ValidateStreaming(xsd, bad));
+
+  // The EDTD conversion handles the shifted state numbering too.
+  Edtd back = StEdtdFromDfaXsd(xsd);
+  EXPECT_TRUE(back.Accepts(good));
+  EXPECT_FALSE(back.Accepts(bad));
+}
+
 TEST(ValidateTest, ReportsViolationPathAndMessage) {
   DfaXsd xsd = DfaXsdFromStEdtd(ReduceEdtd(LibrarySchema()));
   Alphabet& s = xsd.sigma;
@@ -91,6 +136,23 @@ TEST(ValidateTest, ReportsViolationPathAndMessage) {
   ValidationResult wrong_root = ValidateWithDiagnostics(xsd, Tree(book));
   EXPECT_FALSE(wrong_root.ok);
   EXPECT_NE(wrong_root.message.find("start"), std::string::npos);
+}
+
+TEST(ValidateTest, TruncatesLongChildStringsInDiagnostics) {
+  DfaXsd xsd = DfaXsdFromStEdtd(ReduceEdtd(LibrarySchema()));
+  Alphabet& s = xsd.sigma;
+  int library = s.Find("library"), book = s.Find("book"),
+      chapter = s.Find("chapter");
+
+  // 40 chapters but no title: the content-model failure at <book> would
+  // otherwise echo all 40 symbols; only 32 are shown.
+  std::vector<Tree> chapters(40, Tree(chapter));
+  Tree wide(library, {Tree(book, std::move(chapters))});
+  ValidationResult result = ValidateWithDiagnostics(xsd, wide);
+  ASSERT_FALSE(result.ok);
+  EXPECT_EQ(result.violation_path, TreePath{0});
+  EXPECT_NE(result.message.find("... (+8 more)"), std::string::npos)
+      << result.message;
 }
 
 TEST(ValidateTest, AgreesWithAcceptsOnEnumeration) {
