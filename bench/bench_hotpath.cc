@@ -13,10 +13,16 @@
 #include <utility>
 #include <vector>
 
+#include "stap/approx/inclusion.h"
+#include "stap/approx/upper.h"
+#include "stap/automata/antichain.h"
 #include "stap/automata/determinize.h"
 #include "stap/automata/inclusion.h"
 #include "stap/automata/minimize.h"
+#include "stap/base/thread_pool.h"
 #include "stap/gen/random.h"
+#include "stap/regex/ast.h"
+#include "stap/regex/glushkov.h"
 
 namespace stap {
 namespace {
@@ -237,6 +243,89 @@ BENCHMARK(BM_MinimizeHashed)->RangeMultiplier(2)->Range(8, 64);
 BENCHMARK(BM_MinimizeMap)->RangeMultiplier(2)->Range(8, 64);
 BENCHMARK(BM_NfaInclusionHashed)->RangeMultiplier(2)->Range(8, 32);
 BENCHMARK(BM_NfaInclusionMap)->RangeMultiplier(2)->Range(8, 32);
+
+// ---------------------------------------------------------------------
+// Antichain-vs-determinize crossover on the paper's exponential
+// lower-bound family (Theorem 3.2's string language).
+// ---------------------------------------------------------------------
+
+// The Glushkov NFA of (a+b)* a (a+b)^n — "the (n+1)-th letter from the
+// end is an a". Every determinization-based route explores the full
+// 2^(n+1) subset space on the self-inclusion L ⊆ L, while the antichain
+// frontier collapses onto the ⊆-minimal reachable set per NFA state
+// (reached by the short word a b^(k-1)), keeping the search polynomial.
+Nfa LowerBoundNfa(int n) {
+  RegexPtr ab = Regex::Union({Regex::Symbol(0), Regex::Symbol(1)});
+  std::vector<RegexPtr> parts;
+  parts.push_back(Regex::Star(ab));
+  parts.push_back(Regex::Symbol(0));
+  for (int i = 0; i < n; ++i) parts.push_back(ab);
+  return GlushkovAutomaton(*Regex::Concat(std::move(parts)),
+                           /*num_symbols=*/2);
+}
+
+void BM_LowerBoundInclusionAntichain(benchmark::State& state) {
+  Nfa nfa = LowerBoundNfa(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    bool included = AntichainIncluded(nfa, nfa);
+    benchmark::DoNotOptimize(included);
+  }
+  state.counters["nfa_states"] = nfa.num_states();
+}
+
+// The retired production path: BFS over pairs of subsets (see
+// NfaIncludedInNfaViaSubsets in automata/inclusion.h).
+void BM_LowerBoundInclusionSubsets(benchmark::State& state) {
+  Nfa nfa = LowerBoundNfa(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    bool included = NfaIncludedInNfaViaSubsets(nfa, nfa);
+    benchmark::DoNotOptimize(included);
+  }
+  state.counters["nfa_states"] = nfa.num_states();
+}
+
+// Determinize the right-hand side up front, then run the subset×DFA-state
+// product search.
+void BM_LowerBoundInclusionDeterminize(benchmark::State& state) {
+  Nfa nfa = LowerBoundNfa(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    Dfa dfa = Determinize(nfa);
+    bool included =
+        !NfaDfaInclusionCounterexampleViaSubsets(nfa, dfa).has_value();
+    benchmark::DoNotOptimize(included);
+  }
+  state.counters["nfa_states"] = nfa.num_states();
+}
+
+BENCHMARK(BM_LowerBoundInclusionAntichain)->DenseRange(2, 18, 2)->Arg(64);
+BENCHMARK(BM_LowerBoundInclusionSubsets)->DenseRange(2, 18, 2);
+BENCHMARK(BM_LowerBoundInclusionDeterminize)->DenseRange(2, 18, 2);
+
+// ---------------------------------------------------------------------
+// Parallel approximation sweep: EdtdIncludedInXsd with the per-pair
+// content checks on a ThreadPool. Arg = worker threads (0 = serial
+// path, no pool). The instance is d ⊆ minupper(d), which always holds,
+// so the sweep visits every reachable pair (no early-out).
+// ---------------------------------------------------------------------
+
+void BM_EdtdInclusionSweep(benchmark::State& state) {
+  std::mt19937 rng(987654321u);
+  RandomSchemaParams params;
+  params.num_symbols = 5;
+  params.num_types = 14;
+  params.content_breadth = 3;
+  Edtd d = RandomEdtd(&rng, params);
+  DfaXsd upper = MinimalUpperApproximation(d);
+  const int threads = static_cast<int>(state.range(0));
+  ThreadPool pool(threads);
+  ThreadPool* pool_ptr = threads == 0 ? nullptr : &pool;
+  for (auto _ : state) {
+    bool included = EdtdIncludedInXsd(d, upper, pool_ptr);
+    benchmark::DoNotOptimize(included);
+  }
+}
+
+BENCHMARK(BM_EdtdInclusionSweep)->Arg(0)->Arg(1)->Arg(2)->Arg(4);
 
 }  // namespace
 }  // namespace stap

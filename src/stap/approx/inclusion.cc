@@ -1,5 +1,6 @@
 #include "stap/approx/inclusion.h"
 
+#include <atomic>
 #include <unordered_set>
 #include <utility>
 #include <vector>
@@ -9,12 +10,14 @@
 #include "stap/automata/ops.h"
 #include "stap/automata/state_set_hash.h"
 #include "stap/base/check.h"
+#include "stap/base/thread_pool.h"
 #include "stap/schema/reduce.h"
 #include "stap/schema/type_automaton.h"
 
 namespace stap {
 
-bool EdtdIncludedInXsd(const Edtd& d1_in, const DfaXsd& xsd2) {
+bool EdtdIncludedInXsd(const Edtd& d1_in, const DfaXsd& xsd2,
+                       ThreadPool* pool) {
   // Align alphabets by rebuilding d1 over xsd2's alphabet extended with
   // d1's extra symbols; symbols unknown to xsd2 make inclusion fail as
   // soon as they are reachable.
@@ -43,43 +46,21 @@ bool EdtdIncludedInXsd(const Edtd& d1_in, const DfaXsd& xsd2) {
     }
   }
 
-  // BFS over reachable (type-automaton state, XSD state) pairs; check the
-  // content-model inclusion μ1(d1(τ)) ⊆ f2(q) at every pair.
+  // Phase 1: BFS over reachable (type-automaton state, XSD state) pairs —
+  // a cheap graph walk; the content-model checks are deferred so they can
+  // run as one parallel sweep below. Expansion is independent of the
+  // content verdicts (a failing pair is still expanded in the serial
+  // version), so collecting first is verdict-equivalent.
   std::unordered_set<uint64_t, U64Hash> seen;
   std::vector<std::pair<int, int>> worklist;
   auto visit = [&](int s1, int q2) {
     if (seen.insert(PackPair(s1, q2)).second) worklist.emplace_back(s1, q2);
   };
   visit(TypeAutomaton::kInit, xsd2_init);
-  size_t processed = 0;
-  while (processed < worklist.size()) {
+  for (size_t processed = 0; processed < worklist.size(); ++processed) {
     auto [s1, q2] = worklist[processed];
-    ++processed;
-    if (s1 != TypeAutomaton::kInit) {
-      int tau = TypeAutomaton::TypeOfState(s1);
-      // Content inclusion. With extra symbols the image ranges over the
-      // merged alphabet while f2 ranges over xsd2's; expand f2 (the extra
-      // symbols then reject, which is the desired semantics).
-      Nfa image = HomomorphicImage(d1.content[tau], d1.mu, num_symbols);
-      Dfa f2 = xsd2.content[q2];
-      if (extra_symbols) {
-        Dfa expanded(std::max(f2.num_states(), 1), num_symbols);
-        if (f2.num_states() > 0) {
-          expanded.SetInitial(f2.initial());
-          for (int s = 0; s < f2.num_states(); ++s) {
-            if (f2.IsFinal(s)) expanded.SetFinal(s);
-            for (int a = 0; a < f2.num_symbols(); ++a) {
-              int r = f2.Next(s, a);
-              if (r != kNoState) expanded.SetTransition(s, a, r);
-            }
-          }
-        }
-        f2 = std::move(expanded);
-      }
-      if (!NfaIncludedInDfa(image, f2)) return false;
-    }
     // Expand along both automata; when the XSD side has no transition the
-    // content check above has already failed (reduced d1 guarantees the
+    // content check below fails for this pair (reduced d1 guarantees the
     // symbol occurs), so pruning is sound.
     for (int a = 0; a < num_symbols; ++a) {
       const StateSet& succ1 = a1.nfa.Next(s1, a);
@@ -90,19 +71,54 @@ bool EdtdIncludedInXsd(const Edtd& d1_in, const DfaXsd& xsd2) {
       for (int s1_next : succ1) visit(s1_next, q2_next);
     }
   }
-  return true;
+
+  // Phase 2: content inclusion μ1(d1(τ)) ⊆ f2(q) at every reachable pair,
+  // swept in parallel with a cooperative early-out on the first failure.
+  std::atomic<bool> failed{false};
+  ThreadPool::ParallelFor(
+      pool, static_cast<int>(worklist.size()), [&](int i) {
+        if (failed.load(std::memory_order_relaxed)) return;
+        auto [s1, q2] = worklist[i];
+        if (s1 == TypeAutomaton::kInit) return;
+        int tau = TypeAutomaton::TypeOfState(s1);
+        // Content inclusion. With extra symbols the image ranges over the
+        // merged alphabet while f2 ranges over xsd2's; expand f2 (the
+        // extra symbols then reject, which is the desired semantics).
+        Nfa image = HomomorphicImage(d1.content[tau], d1.mu, num_symbols);
+        Dfa f2 = xsd2.content[q2];
+        if (extra_symbols) {
+          Dfa expanded(std::max(f2.num_states(), 1), num_symbols);
+          if (f2.num_states() > 0) {
+            expanded.SetInitial(f2.initial());
+            for (int s = 0; s < f2.num_states(); ++s) {
+              if (f2.IsFinal(s)) expanded.SetFinal(s);
+              for (int a = 0; a < f2.num_symbols(); ++a) {
+                int r = f2.Next(s, a);
+                if (r != kNoState) expanded.SetTransition(s, a, r);
+              }
+            }
+          }
+          f2 = std::move(expanded);
+        }
+        if (!NfaIncludedInDfa(image, f2)) {
+          failed.store(true, std::memory_order_relaxed);
+        }
+      });
+  return !failed.load();
 }
 
-bool IncludedInSingleType(const Edtd& d1, const Edtd& d2_in) {
+bool IncludedInSingleType(const Edtd& d1, const Edtd& d2_in,
+                          ThreadPool* pool) {
   auto [d1_aligned, d2_aligned] = AlignAlphabets(d1, d2_in);
   Edtd d2 = ReduceEdtd(d2_aligned);
   STAP_CHECK(IsSingleType(d2));
   if (d2.num_types() == 0) return ReduceEdtd(d1_aligned).num_types() == 0;
-  return EdtdIncludedInXsd(d1_aligned, DfaXsdFromStEdtd(d2));
+  return EdtdIncludedInXsd(d1_aligned, DfaXsdFromStEdtd(d2), pool);
 }
 
-bool SingleTypeEquivalent(const Edtd& d1, const Edtd& d2) {
-  return IncludedInSingleType(d1, d2) && IncludedInSingleType(d2, d1);
+bool SingleTypeEquivalent(const Edtd& d1, const Edtd& d2, ThreadPool* pool) {
+  return IncludedInSingleType(d1, d2, pool) &&
+         IncludedInSingleType(d2, d1, pool);
 }
 
 }  // namespace stap

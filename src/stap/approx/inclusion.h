@@ -5,6 +5,11 @@
 // reachable pairs of the two type automata and (2) per-pair content-model
 // inclusion — both polynomial because D2's type automaton is
 // deterministic. Contrast with the EXPTIME route in treeauto/exact.h.
+//
+// The per-pair content checks are independent of the pair BFS and of each
+// other, so they run as one parallel sweep over the reachable pairs when
+// a ThreadPool is supplied (they are the dominant cost; the BFS itself is
+// a cheap graph walk).
 #ifndef STAP_APPROX_INCLUSION_H_
 #define STAP_APPROX_INCLUSION_H_
 
@@ -13,15 +18,21 @@
 
 namespace stap {
 
+class ThreadPool;
+
 // L(d1) ⊆ L(xsd2)? Polynomial in |d1| + |xsd2|. `d1` is reduced
-// internally; alphabets are aligned by name.
-bool EdtdIncludedInXsd(const Edtd& d1, const DfaXsd& xsd2);
+// internally; alphabets are aligned by name. When `pool` is non-null the
+// per-pair content-model inclusions run on it.
+bool EdtdIncludedInXsd(const Edtd& d1, const DfaXsd& xsd2,
+                       ThreadPool* pool = nullptr);
 
 // Convenience wrapper: d2 must be single-type (checked).
-bool IncludedInSingleType(const Edtd& d1, const Edtd& d2);
+bool IncludedInSingleType(const Edtd& d1, const Edtd& d2,
+                          ThreadPool* pool = nullptr);
 
 // Language equivalence of two single-type EDTDs (both checked).
-bool SingleTypeEquivalent(const Edtd& d1, const Edtd& d2);
+bool SingleTypeEquivalent(const Edtd& d1, const Edtd& d2,
+                          ThreadPool* pool = nullptr);
 
 }  // namespace stap
 

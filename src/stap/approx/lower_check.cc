@@ -1,10 +1,13 @@
 #include "stap/approx/lower_check.h"
 
+#include <atomic>
+#include <cstdint>
 #include <vector>
 
 #include "stap/approx/upper.h"
 #include "stap/approx/upper_boolean.h"
 #include "stap/base/check.h"
+#include "stap/base/thread_pool.h"
 #include "stap/schema/reduce.h"
 #include "stap/schema/single_type.h"
 #include "stap/schema/type_automaton.h"
@@ -43,7 +46,8 @@ Dfa NkAutomaton(int k, int num_symbols) {
 LowerCheckResult CheckMaximalLowerFinite(const Edtd& candidate_in,
                                          const Edtd& target_in,
                                          const TreeBounds& bounds,
-                                         const ClosureOptions& options) {
+                                         const ClosureOptions& options,
+                                         ThreadPool* pool) {
   auto [candidate_aligned, target_aligned] =
       AlignAlphabets(candidate_in, target_in);
   Edtd candidate = ReduceEdtd(candidate_aligned);
@@ -70,14 +74,42 @@ LowerCheckResult CheckMaximalLowerFinite(const Edtd& candidate_in,
   exchange_options.stop_predicate = [&target](const Tree& member) {
     return !target.Accepts(member);
   };
-  for (const Tree& t : extension_pool) {
+
+  // The closure fixpoints per extension candidate are independent, so they
+  // sweep in parallel. To keep the result bit-identical to the serial
+  // early-exit loop (which returns the FIRST saturated extension and only
+  // accumulates `exhaustive` over the prefix before it), each index records
+  // its outcome and a monotonically decreasing `first_ext` lets workers
+  // skip indexes past the earliest saturated one; the fold below then
+  // replays the serial order. Skipping i > first_ext is safe because
+  // first_ext only decreases, so a skipped index stays past it forever and
+  // the fold never reads its outcome.
+  enum : uint8_t { kUnknown = 0, kEscaped, kNotSaturated, kSaturated };
+  const int n = static_cast<int>(extension_pool.size());
+  std::vector<uint8_t> outcome(n, kUnknown);
+  std::atomic<int> first_ext{n};
+  ThreadPool::ParallelFor(pool, n, [&](int i) {
+    if (i > first_ext.load(std::memory_order_relaxed)) return;
     std::vector<Tree> seeds = in_candidate;
-    seeds.push_back(t);
+    seeds.push_back(extension_pool[i]);
     ClosureResult closure = CloseUnderExchange(seeds, exchange_options);
-    bool escaped = closure.stop_match.has_value();
-    if (!escaped && !closure.saturated) result.exhaustive = false;
-    if (!escaped && closure.saturated) {
-      result.extension = t;
+    if (closure.stop_match.has_value()) {
+      outcome[i] = kEscaped;
+    } else if (closure.saturated) {
+      outcome[i] = kSaturated;
+      int cur = first_ext.load(std::memory_order_relaxed);
+      while (i < cur &&
+             !first_ext.compare_exchange_weak(cur, i,
+                                              std::memory_order_relaxed)) {
+      }
+    } else {
+      outcome[i] = kNotSaturated;
+    }
+  });
+  for (int i = 0; i < n; ++i) {
+    if (outcome[i] == kNotSaturated) result.exhaustive = false;
+    if (outcome[i] == kSaturated) {
+      result.extension = extension_pool[i];
       return result;
     }
   }

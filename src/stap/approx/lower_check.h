@@ -25,6 +25,8 @@
 
 namespace stap {
 
+class ThreadPool;
+
 // The DFA N_k: separates every pair of distinct strings of length <= k
 // (a complete |Σ|-ary trie with an absorbing overflow state).
 Dfa NkAutomaton(int k, int num_symbols);
@@ -42,10 +44,15 @@ struct LowerCheckResult {
 // Decides maximality of the lower approximation on the bounded instance:
 // both languages are taken restricted to `bounds` (exact when both are
 // finite and contained in the bounds). `candidate` must be single-type.
+//
+// When a ThreadPool is supplied the per-extension closure fixpoints run
+// as one parallel sweep; the result (including which extension tree is
+// reported and the `exhaustive` flag) is identical to the serial order.
 LowerCheckResult CheckMaximalLowerFinite(const Edtd& candidate,
                                          const Edtd& target,
                                          const TreeBounds& bounds,
-                                         const ClosureOptions& options = {});
+                                         const ClosureOptions& options = {},
+                                         ThreadPool* pool = nullptr);
 
 // Is L(edtd) definable by a single-type EDTD at all? (Martens et al.'s
 // EXPTIME test, via Theorem 3.2: the language is single-type definable iff

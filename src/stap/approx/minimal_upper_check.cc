@@ -1,18 +1,17 @@
 #include "stap/approx/minimal_upper_check.h"
 
-#include <unordered_map>
+#include <atomic>
 #include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "stap/approx/inclusion.h"
 #include "stap/approx/upper_boolean.h"
-#include "stap/automata/determinize.h"
-#include "stap/automata/inclusion.h"
-#include "stap/automata/minimize.h"
+#include "stap/automata/antichain.h"
 #include "stap/automata/ops.h"
 #include "stap/automata/state_set_hash.h"
 #include "stap/base/check.h"
+#include "stap/base/thread_pool.h"
 #include "stap/schema/reduce.h"
 #include "stap/schema/single_type.h"
 #include "stap/schema/type_automaton.h"
@@ -20,7 +19,7 @@
 namespace stap {
 
 bool IsMinimalUpperApproximation(const Edtd& candidate_in,
-                                 const Edtd& target_in) {
+                                 const Edtd& target_in, ThreadPool* pool) {
   auto [candidate_aligned, target_aligned] =
       AlignAlphabets(candidate_in, target_in);
   Edtd candidate = ReduceEdtd(candidate_aligned);
@@ -33,7 +32,7 @@ bool IsMinimalUpperApproximation(const Edtd& candidate_in,
   if (target.num_types() == 0) return candidate.num_types() == 0;
   if (candidate.num_types() == 0) return false;
   DfaXsd candidate_xsd = DfaXsdFromStEdtd(candidate);
-  if (!EdtdIncludedInXsd(target, candidate_xsd)) return false;
+  if (!EdtdIncludedInXsd(target, candidate_xsd, pool)) return false;
 
   // Phase 2: L(candidate) ⊆ L(minupper(target)) — per the paper it
   // suffices to check inclusion, since minupper is the least single-type
@@ -49,28 +48,9 @@ bool IsMinimalUpperApproximation(const Edtd& candidate_in,
     if (!target_root[a]) return false;
   }
 
-  // Subsets of target-type states are interned to dense ids; both the
-  // content cache and the visited-pair set key off those ids.
+  // Subsets of target-type states are interned to dense ids; the
+  // visited-pair set and the per-subset content unions key off those ids.
   StateSetInterner subsets;
-  std::unordered_map<int, Dfa> content_cache;
-  auto subset_content = [&](int subset_id) -> const Dfa& {
-    auto it = content_cache.find(subset_id);
-    if (it != content_cache.end()) return it->second;
-    Nfa content_union(0, num_symbols);
-    bool first = true;
-    for (int state : subsets[subset_id]) {
-      int tau = TypeAutomaton::TypeOfState(state);
-      Nfa image =
-          HomomorphicImage(target.content[tau], target.mu, num_symbols);
-      content_union = first ? std::move(image)
-                            : NfaUnion(content_union, image);
-      first = false;
-    }
-    STAP_CHECK(!first);
-    return content_cache.emplace(subset_id, Determinize(content_union))
-        .first->second;
-  };
-
   std::unordered_set<uint64_t, U64Hash> seen;
   std::vector<std::pair<int, int>> worklist;  // (candidate state, subset id)
   auto visit = [&](int q, StateSet&& subset) {
@@ -81,15 +61,12 @@ bool IsMinimalUpperApproximation(const Edtd& candidate_in,
   };
   visit(candidate_xsd.automaton.initial(), StateSet{TypeAutomaton::kInit});
 
+  // BFS over reachable pairs first (cheap graph walk; expansion never
+  // depended on the content verdicts), then one parallel sweep of the
+  // content checks over the collected pairs.
   StateSet scratch;
   for (size_t processed = 0; processed < worklist.size(); ++processed) {
     const auto [q, subset_id] = worklist[processed];
-    if (q != candidate_xsd.automaton.initial()) {
-      // Candidate content must be inside the union of the subset's
-      // contents.
-      Nfa image = candidate_xsd.content[q].ToNfa();
-      if (!NfaIncludedInDfa(image, subset_content(subset_id))) return false;
-    }
     for (int a = 0; a < num_symbols; ++a) {
       int q_next = candidate_xsd.automaton.Next(q, a);
       if (q_next == kNoState) continue;
@@ -98,7 +75,41 @@ bool IsMinimalUpperApproximation(const Edtd& candidate_in,
       visit(q_next, std::move(scratch));
     }
   }
-  return true;
+
+  // Union NFA of a subset's content images. Built once per subset id (all
+  // ids occur in the worklist); the antichain inclusion consumes the NFA
+  // directly, so the union is never determinized.
+  std::vector<Nfa> subset_content(subsets.size(), Nfa(0, num_symbols));
+  ThreadPool::ParallelFor(pool, subsets.size(), [&](int subset_id) {
+    Nfa content_union(0, num_symbols);
+    bool first = true;
+    for (int state : subsets[subset_id]) {
+      if (state == TypeAutomaton::kInit) continue;
+      int tau = TypeAutomaton::TypeOfState(state);
+      Nfa image =
+          HomomorphicImage(target.content[tau], target.mu, num_symbols);
+      content_union =
+          first ? std::move(image) : NfaUnion(content_union, image);
+      first = false;
+    }
+    subset_content[subset_id] = std::move(content_union);
+  });
+
+  const int candidate_init = candidate_xsd.automaton.initial();
+  std::atomic<bool> failed{false};
+  ThreadPool::ParallelFor(
+      pool, static_cast<int>(worklist.size()), [&](int i) {
+        if (failed.load(std::memory_order_relaxed)) return;
+        const auto [q, subset_id] = worklist[i];
+        if (q == candidate_init) return;
+        // Candidate content must be inside the union of the subset's
+        // contents.
+        Nfa image = candidate_xsd.content[q].ToNfa();
+        if (!AntichainIncluded(image, subset_content[subset_id])) {
+          failed.store(true, std::memory_order_relaxed);
+        }
+      });
+  return !failed.load();
 }
 
 }  // namespace stap

@@ -5,7 +5,11 @@
 // L(target) ⊆ L(candidate) (Lemma 3.3), then the on-the-fly product of the
 // candidate's type automaton with the subset automaton of the target's —
 // subsets are materialized lazily, so space stays proportional to the
-// frontier rather than to the full exponential construction.
+// frontier rather than to the full exponential construction. The per-pair
+// content checks test the candidate content against the *union NFA* of
+// the subset's contents with the antichain engine — the union is never
+// determinized. When a ThreadPool is supplied the content checks run as
+// one parallel sweep.
 #ifndef STAP_APPROX_MINIMAL_UPPER_CHECK_H_
 #define STAP_APPROX_MINIMAL_UPPER_CHECK_H_
 
@@ -13,9 +17,12 @@
 
 namespace stap {
 
+class ThreadPool;
+
 // Is L(candidate) the minimal upper XSD-approximation of L(target)?
 // `candidate` must be single-type (checked); `target` may be any EDTD.
-bool IsMinimalUpperApproximation(const Edtd& candidate, const Edtd& target);
+bool IsMinimalUpperApproximation(const Edtd& candidate, const Edtd& target,
+                                 ThreadPool* pool = nullptr);
 
 }  // namespace stap
 

@@ -11,6 +11,7 @@
 #include "stap/automata/ops.h"
 #include "stap/automata/state_set_hash.h"
 #include "stap/base/check.h"
+#include "stap/base/thread_pool.h"
 #include "stap/schema/minimize.h"
 #include "stap/schema/reduce.h"
 #include "stap/schema/type_automaton.h"
@@ -108,13 +109,14 @@ Edtd EdtdUnion(const Edtd& a_in, const Edtd& b_in) {
   return result;
 }
 
-Edtd EdtdIntersection(const Edtd& a_in, const Edtd& b_in) {
+Edtd EdtdIntersection(const Edtd& a_in, const Edtd& b_in, ThreadPool* pool) {
   auto [a, b] = AlignAlphabets(a_in, b_in);
   const int na = a.num_types();
   const int nb = b.num_types();
 
   // Pair types (τa, τb) with matching labels.
   std::vector<int> pair_id(static_cast<size_t>(na) * nb, -1);
+  std::vector<std::pair<int, int>> live_pairs;  // pair of type id k
   Edtd result;
   result.sigma = a.sigma;
   for (int ta = 0; ta < na; ++ta) {
@@ -123,29 +125,26 @@ Edtd EdtdIntersection(const Edtd& a_in, const Edtd& b_in) {
       pair_id[ta * nb + tb] = result.types.Intern(
           a.types.Name(ta) + "&" + b.types.Name(tb));
       result.mu.push_back(a.mu[ta]);
+      live_pairs.emplace_back(ta, tb);
     }
   }
   const int n = static_cast<int>(result.mu.size());
 
   // Content of (τa, τb): words over the pair alphabet whose projections
-  // satisfy both sides — the product of the lifted content DFAs.
+  // satisfy both sides — the product of the lifted content DFAs. Each pair
+  // writes its own slot, so the products run as one parallel sweep.
   std::vector<int> project_a(n), project_b(n);
-  for (int ta = 0; ta < na; ++ta) {
-    for (int tb = 0; tb < nb; ++tb) {
-      int id = pair_id[ta * nb + tb];
-      if (id < 0) continue;
-      project_a[id] = ta;
-      project_b[id] = tb;
-    }
+  for (int id = 0; id < n; ++id) {
+    project_a[id] = live_pairs[id].first;
+    project_b[id] = live_pairs[id].second;
   }
-  for (int ta = 0; ta < na; ++ta) {
-    for (int tb = 0; tb < nb; ++tb) {
-      if (pair_id[ta * nb + tb] < 0) continue;
-      Dfa lifted_a = InverseHomomorphism(a.content[ta], project_a, n);
-      Dfa lifted_b = InverseHomomorphism(b.content[tb], project_b, n);
-      result.content.push_back(Minimize(DfaIntersection(lifted_a, lifted_b)));
-    }
-  }
+  result.content.resize(n, Dfa());
+  ThreadPool::ParallelFor(pool, n, [&](int id) {
+    auto [ta, tb] = live_pairs[id];
+    Dfa lifted_a = InverseHomomorphism(a.content[ta], project_a, n);
+    Dfa lifted_b = InverseHomomorphism(b.content[tb], project_b, n);
+    result.content[id] = Minimize(DfaIntersection(lifted_a, lifted_b));
+  });
   for (int ta : a.start_types) {
     for (int tb : b.start_types) {
       int id = pair_id[ta * nb + tb];
@@ -156,7 +155,7 @@ Edtd EdtdIntersection(const Edtd& a_in, const Edtd& b_in) {
   return ReduceEdtd(result);
 }
 
-Edtd ComplementEdtd(const DfaXsd& xsd) {
+Edtd ComplementEdtd(const DfaXsd& xsd, ThreadPool* pool) {
   xsd.CheckWellFormed();
   const int num_symbols = xsd.sigma.size();
   const int num_states = xsd.automaton.num_states();
@@ -193,7 +192,10 @@ Edtd ComplementEdtd(const DfaXsd& xsd) {
   for (int a = 0; a < num_symbols; ++a) any_only[any_type(a)] = a;
 
   result.content.resize(n, Dfa());
-  for (int q = 1; q < num_states; ++q) {
+  // One independent content build per path type (disjoint slots), swept in
+  // parallel when a pool is supplied.
+  ThreadPool::ParallelFor(pool, num_path, [&](int i) {
+    const int q = i + 1;
     // L1: child strings whose Σ-projection violates f(q); all children get
     // "anything" types.
     Dfa l1 = InverseHomomorphism(DfaComplement(xsd.content[q]), any_only, n);
@@ -209,7 +211,7 @@ Edtd ComplementEdtd(const DfaXsd& xsd) {
       if (next != kNoState) l2.AddTransition(0, next - 1, 1);
     }
     result.content[q - 1] = Minimize(Determinize(NfaUnion(l1.ToNfa(), l2)));
-  }
+  });
   // Any-types accept any child string of any-types.
   Dfa all_any(1, n);
   all_any.SetFinal(0);
@@ -222,7 +224,7 @@ Edtd ComplementEdtd(const DfaXsd& xsd) {
   return result;
 }
 
-Edtd DifferenceEdtd(const Edtd& d1, const DfaXsd& xsd2) {
+Edtd DifferenceEdtd(const Edtd& d1, const DfaXsd& xsd2, ThreadPool* pool) {
   STAP_CHECK(d1.sigma == xsd2.sigma);
   d1.CheckWellFormed();
   xsd2.CheckWellFormed();
@@ -274,8 +276,9 @@ Edtd DifferenceEdtd(const Edtd& d1, const DfaXsd& xsd2) {
   }
 
   // Rule (4): pair types either find the violation in this child string or
-  // hand the guess to exactly one child.
-  for (size_t p = 0; p < pairs.size(); ++p) {
+  // hand the guess to exactly one child. Each pair writes its own content
+  // slot; the builds run as one parallel sweep.
+  ThreadPool::ParallelFor(pool, static_cast<int>(pairs.size()), [&](int p) {
     auto [tau, q] = pairs[p];
     const Dfa& c1 = d1.content[tau];
     const Dfa f2 = xsd2.content[q].Completed();
@@ -323,7 +326,7 @@ Edtd DifferenceEdtd(const Edtd& d1, const DfaXsd& xsd2) {
     } else {
       result.content[n1 + p] = Minimize(l1);
     }
-  }
+  });
 
   result.CheckWellFormed();
   return result;
@@ -335,7 +338,8 @@ DfaXsd UpperUnion(const Edtd& d1, const Edtd& d2) {
   return MinimalUpperApproximation(EdtdUnion(d1, d2));
 }
 
-DfaXsd UpperIntersection(const Edtd& d1_in, const Edtd& d2_in) {
+DfaXsd UpperIntersection(const Edtd& d1_in, const Edtd& d2_in,
+                         ThreadPool* pool) {
   auto [d1, d2] = AlignAlphabets(d1_in, d2_in);
   STAP_CHECK(IsSingleType(d1));
   STAP_CHECK(IsSingleType(d2));
@@ -376,13 +380,15 @@ DfaXsd UpperIntersection(const Edtd& d1_in, const Edtd& d2_in) {
   const int total = product.automaton.num_states();
   product.state_label.assign(total, kNoSymbol);
   product.content.assign(total, Dfa::EmptyLanguage(num_symbols));
-  for (const auto& [pair, id] : ids) {
-    auto [q1, q2] = pair;
-    if (id == 0) continue;
+  // worklist[id] is the pair interned as state id, so the per-state content
+  // intersections index it directly and run as one parallel sweep.
+  ThreadPool::ParallelFor(pool, total, [&](int id) {
+    if (id == 0) return;
+    auto [q1, q2] = worklist[id];
     product.state_label[id] = x1.state_label[q1];
     product.content[id] = Minimize(DfaIntersection(x1.content[q1],
                                                    x2.content[q2]));
-  }
+  });
   for (int a : x1.start_symbols) {
     if (StateSetContains(x2.start_symbols, a)) {
       StateSetInsert(product.start_symbols, a);
@@ -392,20 +398,22 @@ DfaXsd UpperIntersection(const Edtd& d1_in, const Edtd& d2_in) {
   return MinimizeXsd(product);
 }
 
-DfaXsd UpperComplement(const Edtd& d) {
+DfaXsd UpperComplement(const Edtd& d, ThreadPool* pool) {
   Edtd reduced = ReduceEdtd(d);
   STAP_CHECK(IsSingleType(reduced));
-  return MinimalUpperApproximation(ComplementEdtd(DfaXsdFromStEdtd(reduced)));
+  return MinimalUpperApproximation(
+      ComplementEdtd(DfaXsdFromStEdtd(reduced), pool));
 }
 
-DfaXsd UpperDifference(const Edtd& d1_in, const Edtd& d2_in) {
+DfaXsd UpperDifference(const Edtd& d1_in, const Edtd& d2_in,
+                       ThreadPool* pool) {
   auto [d1, d2] = AlignAlphabets(d1_in, d2_in);
   Edtd r1 = ReduceEdtd(d1);
   Edtd r2 = ReduceEdtd(d2);
   STAP_CHECK(IsSingleType(r1));
   STAP_CHECK(IsSingleType(r2));
   return MinimalUpperApproximation(
-      DifferenceEdtd(r1, DfaXsdFromStEdtd(r2)));
+      DifferenceEdtd(r1, DfaXsdFromStEdtd(r2), pool));
 }
 
 }  // namespace stap

@@ -14,6 +14,11 @@
 //
 // All inputs are single-type EDTDs (checked); schemas over different
 // alphabets are aligned by symbol names first.
+//
+// The dominant cost of each construction is the per-type (or per-pair)
+// content-model build — independent automaton products/determinizations
+// writing disjoint slots. When a ThreadPool is supplied those loops run
+// as parallel sweeps.
 #ifndef STAP_APPROX_UPPER_BOOLEAN_H_
 #define STAP_APPROX_UPPER_BOOLEAN_H_
 
@@ -23,6 +28,8 @@
 #include "stap/schema/single_type.h"
 
 namespace stap {
+
+class ThreadPool;
 
 // Rewrites both schemas over the union of their alphabets (merged by
 // symbol name); languages are unchanged.
@@ -36,22 +43,26 @@ Edtd EdtdUnion(const Edtd& a, const Edtd& b);
 // languages are closed under intersection — the substrate of
 // Proposition 3.7). Works for arbitrary EDTDs; alphabets aligned
 // internally; the result is reduced.
-Edtd EdtdIntersection(const Edtd& a, const Edtd& b);
+Edtd EdtdIntersection(const Edtd& a, const Edtd& b,
+                      ThreadPool* pool = nullptr);
 
 // An EDTD for the complement of the single-type `xsd` (Theorem 3.9's D_c):
 // one "path" type per XSD state guessing the route to a violation, plus
 // one "anything" type per symbol.
-Edtd ComplementEdtd(const DfaXsd& xsd);
+Edtd ComplementEdtd(const DfaXsd& xsd, ThreadPool* pool = nullptr);
 
 // An EDTD for L(d1) \ L(xsd2), d1 single-type (Theorem 3.10's D_c).
-Edtd DifferenceEdtd(const Edtd& d1, const DfaXsd& xsd2);
+Edtd DifferenceEdtd(const Edtd& d1, const DfaXsd& xsd2,
+                    ThreadPool* pool = nullptr);
 
 // Minimal upper XSD-approximations per the theorems. Inputs must be
 // single-type (checked).
 DfaXsd UpperUnion(const Edtd& d1, const Edtd& d2);
-DfaXsd UpperIntersection(const Edtd& d1, const Edtd& d2);  // exact
-DfaXsd UpperComplement(const Edtd& d);
-DfaXsd UpperDifference(const Edtd& d1, const Edtd& d2);
+DfaXsd UpperIntersection(const Edtd& d1, const Edtd& d2,
+                         ThreadPool* pool = nullptr);  // exact
+DfaXsd UpperComplement(const Edtd& d, ThreadPool* pool = nullptr);
+DfaXsd UpperDifference(const Edtd& d1, const Edtd& d2,
+                       ThreadPool* pool = nullptr);
 
 }  // namespace stap
 

@@ -1,0 +1,210 @@
+#include "stap/automata/antichain.h"
+
+#include <algorithm>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "stap/automata/bitset.h"
+#include "stap/base/check.h"
+
+namespace stap {
+
+namespace {
+
+// Layered BFS core. The search expands one depth layer at a time; nodes
+// are (a_state, b-set) pairs whose set is the EXACT set of b-states
+// reachable on the node's path word (sets are only ever propagated along
+// transitions, never merged), so an accepting pair certifies a real
+// counterexample of exactly its depth.
+//
+// Pruning happens in two stages, both of which only ever compare against
+// pairs with the SAME a-state:
+//
+//  1. Against kept elders (strictly smaller depth): a candidate (p, S')
+//     is discarded when a kept (p, S) with S ⊆ S' exists — every
+//     counterexample extension of S' is one of S, at smaller depth.
+//     Elders are never dropped in favor of later smaller sets: an elder
+//     sits at smaller depth, and removing it could lengthen the first
+//     counterexample found.
+//  2. Within the layer being built: candidates of equal depth are reduced
+//     to the ⊆-minimal antichain (here pruning IS bidirectional — a
+//     superset candidate may arrive before the subset that kills it).
+//     This is what keeps the frontier polynomial on families like
+//     (a+b)*a(a+b)^n, where every layer regenerates the full suffix
+//     pattern space but only two sets per a-state are minimal; with
+//     insertion-order-only pruning the supersets survive and the layer
+//     widths double. Dropping a same-depth superset is witness-safe:
+//     if (p, S') accepts (p final, S' ∩ F = ∅), then so does the
+//     surviving (p, S ⊆ S') at the same depth.
+//
+// Acceptance is tested on every GENERATED candidate, before any pruning,
+// so detection is not delayed by stage 2. Invariant: for every word w and
+// a-state p reachable on w, a kept pair (p, T) with T ⊆ S_w exists at
+// depth ≤ |w| (induction: the prefix's kept cover expands, its successor
+// candidate is covered by whatever survives stages 1–2). Hence a shortest
+// counterexample of length L forces an accepting candidate at some layer
+// ≤ L, and any accepting candidate is exact — the first detection depth
+// equals L, matching the determinize-based BFS oracle.
+struct Node {
+  int a_state;
+  int parent;
+  int via_symbol;
+};
+
+Word ReconstructWord(const std::vector<Node>& nodes, int parent, int via) {
+  Word word;
+  if (via != kNoSymbol) word.push_back(via);
+  for (int cur = parent; cur >= 0 && nodes[cur].parent >= 0;
+       cur = nodes[cur].parent) {
+    word.push_back(nodes[cur].via_symbol);
+  }
+  std::reverse(word.begin(), word.end());
+  return word;
+}
+
+}  // namespace
+
+std::optional<Word> AntichainInclusionCounterexample(const Nfa& a,
+                                                     const Nfa& b) {
+  STAP_CHECK(a.num_symbols() == b.num_symbols());
+  const int num_symbols = a.num_symbols();
+  const DenseNfa dense_b(b);
+
+  std::vector<Node> nodes;  // kept nodes, all layers
+  std::deque<DenseStateSet> node_sets;      // parallel to nodes
+  std::vector<std::vector<int>> kept(a.num_states());  // kept ids per p
+  std::vector<int> layer;                   // node ids to expand next
+
+  // Candidates of the layer being built. Successor sets are shared by all
+  // a-successors of one (node, symbol) expansion via set ids.
+  struct Cand {
+    int set_id;
+    int parent;
+    int via_symbol;
+  };
+  std::deque<DenseStateSet> cand_sets;
+  std::vector<std::vector<Cand>> cand(a.num_states());
+  std::vector<int> cand_states;  // a-states with candidates this layer
+
+  // Detected counterexample, if any: returns true when accepting.
+  std::optional<Word> witness;
+  auto offer = [&](int a_state, const DenseStateSet& s, int set_id,
+                   int parent, int via) {
+    if (!witness.has_value() && a.IsFinal(a_state) && !dense_b.AnyFinal(s)) {
+      witness = ReconstructWord(nodes, parent, via);
+      return true;
+    }
+    if (cand[a_state].empty()) cand_states.push_back(a_state);
+    cand[a_state].push_back(Cand{set_id, parent, via});
+    return false;
+  };
+
+  // Folds the pending candidates into the kept frontier (stages 1 and 2)
+  // and returns the new layer.
+  auto settle = [&]() {
+    layer.clear();
+    for (int p : cand_states) {
+      // Stage 2 first: reduce this layer's candidates for p to the
+      // ⊆-minimal antichain (survivors are not yet expanded, so dropping
+      // a superset — in either arrival order — is safe).
+      std::vector<Cand> minimal;
+      for (const Cand& c : cand[p]) {
+        const DenseStateSet& s = cand_sets[c.set_id];
+        bool dominated = false;
+        for (const Cand& m : minimal) {
+          if (cand_sets[m.set_id].IsSubsetOf(s)) {
+            dominated = true;
+            break;
+          }
+        }
+        if (dominated) continue;
+        minimal.erase(
+            std::remove_if(minimal.begin(), minimal.end(),
+                           [&](const Cand& m) {
+                             return s.IsSubsetOf(cand_sets[m.set_id]);
+                           }),
+            minimal.end());
+        minimal.push_back(c);
+      }
+      // Stage 1: drop survivors covered by kept elders.
+      for (const Cand& c : minimal) {
+        const DenseStateSet& s = cand_sets[c.set_id];
+        bool dominated = false;
+        for (int id : kept[p]) {
+          if (node_sets[id].IsSubsetOf(s)) {
+            dominated = true;
+            break;
+          }
+        }
+        if (dominated) continue;
+        int id = static_cast<int>(nodes.size());
+        kept[p].push_back(id);
+        layer.push_back(id);
+        nodes.push_back(Node{p, c.parent, c.via_symbol});
+        node_sets.push_back(cand_sets[c.set_id]);
+      }
+      cand[p].clear();
+    }
+    cand_states.clear();
+    cand_sets.clear();
+  };
+
+  // Depth-0 candidates: every a-initial state against the b-initial set.
+  {
+    const DenseStateSet& init = dense_b.initial();
+    cand_sets.push_back(init);
+    for (int p : a.initial()) {
+      if (offer(p, init, 0, -1, kNoSymbol)) return witness;
+    }
+    settle();
+  }
+
+  DenseStateSet scratch(b.num_states());
+  while (!layer.empty()) {
+    std::vector<int> current;
+    std::swap(current, layer);
+    for (int id : current) {
+      const int p = nodes[id].a_state;
+      for (int sym = 0; sym < num_symbols; ++sym) {
+        const StateSet& succ = a.Next(p, sym);
+        if (succ.empty()) continue;
+        dense_b.NextInto(node_sets[id], sym, &scratch);
+        int set_id = static_cast<int>(cand_sets.size());
+        cand_sets.push_back(scratch);
+        for (int p_next : succ) {
+          if (offer(p_next, scratch, set_id, id, sym)) return witness;
+        }
+      }
+    }
+    settle();
+  }
+  return std::nullopt;
+}
+
+bool AntichainIncluded(const Nfa& a, const Nfa& b) {
+  return !AntichainInclusionCounterexample(a, b).has_value();
+}
+
+std::optional<Word> AntichainUniversalityCounterexample(const Nfa& nfa) {
+  // Universality is inclusion of Σ* — run the engine against the
+  // one-state all-accepting NFA on the left.
+  const int num_symbols = nfa.num_symbols();
+  Nfa all(1, num_symbols);
+  all.AddInitial(0);
+  all.SetFinal(0);
+  for (int sym = 0; sym < num_symbols; ++sym) {
+    all.AddTransition(0, sym, 0);
+  }
+  return AntichainInclusionCounterexample(all, nfa);
+}
+
+bool AntichainUniversal(const Nfa& nfa) {
+  return !AntichainUniversalityCounterexample(nfa).has_value();
+}
+
+bool AntichainEquivalent(const Nfa& a, const Nfa& b) {
+  return AntichainIncluded(a, b) && AntichainIncluded(b, a);
+}
+
+}  // namespace stap

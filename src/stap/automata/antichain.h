@@ -1,0 +1,46 @@
+// Antichain-based language inclusion, universality, and equivalence for
+// NFAs — no up-front subset construction.
+//
+// L(a) ⊆ L(b) fails iff some word reaches a final a-state while the set
+// of b-states reachable on the same word contains no final state. The
+// engine runs a BFS over pairs (p, S) of one a-state and the dense bitset
+// of b-states reachable along the discovery path, with subsumption
+// pruning: a newcomer (p, S') is discarded when some kept pair (p, S)
+// with S ⊆ S' exists, because every counterexample extension of (p, S')
+// is also one of (p, S). Only ⊆-minimal b-sets per a-state are expanded,
+// which collapses the exponential subset space whenever short words
+// already produce small reachable sets (cf. the antichain algorithms of
+// De Wulf–Doyen–Henzinger–Raskin and the schema-guided determinization
+// line of work). The search exits on the first counterexample and
+// reconstructs a shortest witness word from parent pointers.
+//
+// The determinize-based subset-product path (inclusion.h *ViaSubsets
+// functions) is retained as a differential-test oracle; see DESIGN.md.
+#ifndef STAP_AUTOMATA_ANTICHAIN_H_
+#define STAP_AUTOMATA_ANTICHAIN_H_
+
+#include <optional>
+
+#include "stap/automata/nfa.h"
+
+namespace stap {
+
+// A shortest word in L(a) \ L(b), or nullopt when L(a) ⊆ L(b).
+std::optional<Word> AntichainInclusionCounterexample(const Nfa& a,
+                                                     const Nfa& b);
+
+// L(a) ⊆ L(b)?
+bool AntichainIncluded(const Nfa& a, const Nfa& b);
+
+// A shortest word outside L(nfa), or nullopt when L(nfa) = Σ*.
+std::optional<Word> AntichainUniversalityCounterexample(const Nfa& nfa);
+
+// L(nfa) = Σ*?
+bool AntichainUniversal(const Nfa& nfa);
+
+// L(a) == L(b)?
+bool AntichainEquivalent(const Nfa& a, const Nfa& b);
+
+}  // namespace stap
+
+#endif  // STAP_AUTOMATA_ANTICHAIN_H_

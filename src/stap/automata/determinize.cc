@@ -2,39 +2,42 @@
 
 #include <utility>
 
-#include "stap/automata/state_set_hash.h"
+#include "stap/automata/bitset.h"
 
 namespace stap {
 
 Dfa Determinize(const Nfa& nfa, std::vector<StateSet>* subsets) {
   const int num_symbols = nfa.num_symbols();
-  StateSetInterner interner;
+  const DenseNfa dense(nfa);
+  DenseStateSetInterner interner(nfa.num_states());
 
   Dfa dfa(0, num_symbols);
-  interner.Intern(nfa.initial());
+  interner.Intern(dense.initial());
   dfa.AddState();
   dfa.SetInitial(0);
 
   // Subset ids double as the worklist: processing state id may discover
-  // new subsets, which are appended and processed in turn. References
-  // into the interner stay valid across inserts.
-  StateSet scratch;
+  // new subsets, which are appended and processed in turn. Subsets are
+  // dense bitsets: the successor computation is an OR of transition rows
+  // and interning hashes whole blocks — no sorting, no per-element
+  // compares. References into the interner stay valid across inserts.
+  DenseStateSet scratch(nfa.num_states());
   for (int id = 0; id < interner.size(); ++id) {
-    const StateSet& current = interner[id];
-    for (int q : current) {
-      if (nfa.IsFinal(q)) {
-        dfa.SetFinal(id);
-        break;
-      }
-    }
+    const DenseStateSet& current = interner[id];
+    if (dense.AnyFinal(current)) dfa.SetFinal(id);
     for (int a = 0; a < num_symbols; ++a) {
-      nfa.NextInto(current, a, &scratch);
-      auto [next_id, inserted] = interner.Intern(std::move(scratch));
+      dense.NextInto(current, a, &scratch);
+      auto [next_id, inserted] = interner.Intern(scratch);
       if (inserted) dfa.AddState();
       dfa.SetTransition(id, a, next_id);
     }
   }
-  if (subsets != nullptr) interner.MoveSetsInto(subsets);
+  if (subsets != nullptr) {
+    subsets->reserve(subsets->size() + interner.size());
+    for (int id = 0; id < interner.size(); ++id) {
+      subsets->push_back(interner[id].ToStateSet());
+    }
+  }
   return dfa;
 }
 

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "stap/automata/antichain.h"
 #include "stap/automata/state_set_hash.h"
 #include "stap/base/check.h"
 
@@ -13,16 +14,14 @@ namespace stap {
 
 namespace {
 
-// BFS over pairs (state set of `nfa`, state of completed `dfa`) searching
-// for a pair where the NFA accepts and the DFA does not. Returns a shortest
-// witness word, or nullopt when L(nfa) ⊆ L(dfa).
+// Oracle path: BFS over pairs (state set of `nfa`, state of completed
+// `dfa`) searching for a pair where the NFA accepts and the DFA does not.
+// Returns a shortest witness word, or nullopt when L(nfa) ⊆ L(dfa).
 //
-// The reachable pairs are at most |2^Q_nfa| x |Q_dfa| in principle, but for
-// the deterministic inputs used by Lemma 3.3 the first component stays a
-// singleton and the search is polynomial. For genuinely non-deterministic
-// inputs this is the textbook subset-product search. State sets are
-// hash-interned once; the pair table is keyed by packed (set id, dfa
-// state) words.
+// The reachable pairs are at most |2^Q_nfa| x |Q_dfa| in principle; the
+// antichain engine replaces this with a |Q_nfa| x |Q_dfa| pair search.
+// State sets are hash-interned once; the pair table is keyed by packed
+// (set id, dfa state) words.
 std::optional<Word> SearchCounterexample(const Nfa& nfa, const Dfa& dfa_in) {
   STAP_CHECK(nfa.num_symbols() == dfa_in.num_symbols());
   const Dfa dfa = dfa_in.Completed();
@@ -85,14 +84,32 @@ std::optional<Word> SearchCounterexample(const Nfa& nfa, const Dfa& dfa_in) {
 }  // namespace
 
 bool DfaIncludedIn(const Dfa& a, const Dfa& b) {
-  return !DfaInclusionCounterexample(a, b).has_value();
+  return AntichainIncluded(a.ToNfa(), b.ToNfa());
 }
 
 bool NfaIncludedInDfa(const Nfa& nfa, const Dfa& dfa) {
-  return !SearchCounterexample(nfa, dfa).has_value();
+  return AntichainIncluded(nfa, dfa.ToNfa());
 }
 
 bool NfaIncludedInNfa(const Nfa& a, const Nfa& b) {
+  return AntichainIncluded(a, b);
+}
+
+bool DfaEquivalent(const Dfa& a, const Dfa& b) {
+  return DfaIncludedIn(a, b) && DfaIncludedIn(b, a);
+}
+
+std::optional<Word> DfaInclusionCounterexample(const Dfa& a, const Dfa& b) {
+  return AntichainInclusionCounterexample(a.ToNfa(), b.ToNfa());
+}
+
+std::optional<Word> NfaDfaInclusionCounterexample(const Nfa& nfa,
+                                                  const Dfa& dfa) {
+  STAP_CHECK(nfa.num_symbols() == dfa.num_symbols());
+  return AntichainInclusionCounterexample(nfa, dfa.ToNfa());
+}
+
+bool NfaIncludedInNfaViaSubsets(const Nfa& a, const Nfa& b) {
   STAP_CHECK(a.num_symbols() == b.num_symbols());
   const int num_symbols = a.num_symbols();
   // Pairs (state set of a, state set of b), searching for accept/reject.
@@ -135,16 +152,8 @@ bool NfaIncludedInNfa(const Nfa& a, const Nfa& b) {
   return true;
 }
 
-bool DfaEquivalent(const Dfa& a, const Dfa& b) {
-  return DfaIncludedIn(a, b) && DfaIncludedIn(b, a);
-}
-
-std::optional<Word> DfaInclusionCounterexample(const Dfa& a, const Dfa& b) {
-  return SearchCounterexample(a.ToNfa(), b);
-}
-
-std::optional<Word> NfaDfaInclusionCounterexample(const Nfa& nfa,
-                                                  const Dfa& dfa) {
+std::optional<Word> NfaDfaInclusionCounterexampleViaSubsets(const Nfa& nfa,
+                                                            const Dfa& dfa) {
   return SearchCounterexample(nfa, dfa);
 }
 

@@ -1,4 +1,10 @@
 // Language inclusion and equivalence tests.
+//
+// The production entry points run the antichain engine (antichain.h):
+// on-the-fly frontier search over (state, bitset) pairs with subsumption
+// pruning, no up-front subset construction. The pre-antichain
+// subset-product search is retained under *ViaSubsets names as a
+// differential-test oracle and benchmark baseline.
 #ifndef STAP_AUTOMATA_INCLUSION_H_
 #define STAP_AUTOMATA_INCLUSION_H_
 
@@ -9,15 +15,16 @@
 
 namespace stap {
 
-// L(a) ⊆ L(b)? Polynomial: product search for a counterexample.
+// L(a) ⊆ L(b)? Polynomial: antichain pair search over (state, state).
 bool DfaIncludedIn(const Dfa& a, const Dfa& b);
 
 // L(nfa) ⊆ L(dfa)? Polynomial: pairs (NFA state, DFA state) search.
 // This is the engine behind the paper's Lemma 3.3.
 bool NfaIncludedInDfa(const Nfa& nfa, const Dfa& dfa);
 
-// L(a) ⊆ L(b)? Determinizes `b` on the fly (worst-case exponential in
-// |b| — the PSPACE-hard case of Section 5's NFA content models).
+// L(a) ⊆ L(b)? Antichain frontier search; worst-case exponential in |b|
+// (the PSPACE-hard case of Section 5's NFA content models) but explores
+// only ⊆-minimal b-sets, with early exit on the first counterexample.
 bool NfaIncludedInNfa(const Nfa& a, const Nfa& b);
 
 // L(a) == L(b)?
@@ -29,6 +36,22 @@ std::optional<Word> DfaInclusionCounterexample(const Dfa& a, const Dfa& b);
 // A shortest word in L(nfa) \ L(dfa), if any.
 std::optional<Word> NfaDfaInclusionCounterexample(const Nfa& nfa,
                                                   const Dfa& dfa);
+
+// ---------------------------------------------------------------------
+// Determinize-based oracles (pre-antichain implementations). Verdicts and
+// witness lengths match the antichain engine; kept for differential tests
+// (tests/antichain_differential_test.cc) and the crossover benchmark in
+// bench_hotpath. See DESIGN.md for when these are the right tool.
+// ---------------------------------------------------------------------
+
+// L(a) ⊆ L(b) via the on-the-fly subset-product search (determinizes
+// both sides' reachable subsets without subsumption pruning).
+bool NfaIncludedInNfaViaSubsets(const Nfa& a, const Nfa& b);
+
+// Shortest word in L(nfa) \ L(dfa) via the (subset of nfa, dfa state)
+// product BFS.
+std::optional<Word> NfaDfaInclusionCounterexampleViaSubsets(const Nfa& nfa,
+                                                            const Dfa& dfa);
 
 }  // namespace stap
 

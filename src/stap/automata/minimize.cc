@@ -1,8 +1,8 @@
 #include "stap/automata/minimize.h"
 
 #include <algorithm>
+#include <cstring>
 #include <deque>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -13,6 +13,66 @@
 namespace stap {
 
 namespace {
+
+// Interns fixed-width int spans (Moore signatures) to dense ids. All
+// signatures of one refinement round have the same width, so they live
+// back-to-back in a flat arena — no per-state vector allocation, and the
+// probe compares with memcmp over contiguous memory.
+class SignatureInterner {
+ public:
+  SignatureInterner(size_t width, int expected)
+      : width_(width), table_(TableSizeFor(expected), -1) {
+    arena_.reserve(width * static_cast<size_t>(expected));
+    hashes_.reserve(static_cast<size_t>(expected));
+  }
+
+  int size() const { return static_cast<int>(hashes_.size()); }
+
+  // Interns `sig` (exactly `width_` ints), returning its dense id.
+  int Intern(const int* sig) {
+    const uint64_t hash = HashIntSpan(sig, width_);
+    const size_t mask = table_.size() - 1;
+    size_t i = static_cast<size_t>(hash) & mask;
+    while (true) {
+      int32_t id = table_[i];
+      if (id < 0) break;
+      if (hashes_[id] == hash &&
+          std::memcmp(arena_.data() + id * width_, sig,
+                      width_ * sizeof(int)) == 0) {
+        return id;
+      }
+      i = (i + 1) & mask;
+    }
+    const int id = static_cast<int>(hashes_.size());
+    arena_.insert(arena_.end(), sig, sig + width_);
+    hashes_.push_back(hash);
+    table_[i] = id;
+    if (hashes_.size() * 10 >= table_.size() * 7) Grow();
+    return id;
+  }
+
+ private:
+  static size_t TableSizeFor(int expected) {
+    size_t size = 64;
+    while (size * 7 < static_cast<size_t>(expected) * 10) size *= 2;
+    return size;
+  }
+
+  void Grow() {
+    table_.assign(table_.size() * 2, -1);
+    const size_t mask = table_.size() - 1;
+    for (size_t id = 0; id < hashes_.size(); ++id) {
+      size_t i = static_cast<size_t>(hashes_[id]) & mask;
+      while (table_[i] >= 0) i = (i + 1) & mask;
+      table_[i] = static_cast<int32_t>(id);
+    }
+  }
+
+  size_t width_;
+  std::vector<int> arena_;        // id * width_ .. (id+1) * width_
+  std::vector<uint64_t> hashes_;  // id -> full hash
+  std::vector<int32_t> table_;    // open addressing; -1 = empty
+};
 
 // Renumbers the states of a (partial, trimmed) DFA in BFS order, symbols
 // ascending. For a minimal DFA this numbering is canonical.
@@ -61,27 +121,22 @@ Dfa Minimize(const Dfa& input) {
   for (int q = 0; q < n; ++q) classes[q] = dfa.IsFinal(q) ? 1 : 0;
 
   int num_classes = 2;
-  std::vector<int> signature;
+  // Signature of a state: (its class, classes of its successors).
+  // One reusable scratch row; signatures are interned through a flat
+  // arena table, so the refinement loop performs no allocation per state.
+  std::vector<int> signature(static_cast<size_t>(num_symbols) + 1);
+  std::vector<int> next_classes(n);
   while (true) {
-    // Signature of a state: (its class, classes of its successors).
-    // Hash-interned: one O(num_symbols) hash per state instead of
-    // O(num_symbols · log n) lexicographic comparisons per tree probe.
-    std::unordered_map<std::vector<int>, int, IntVectorHash> signature_ids;
-    signature_ids.reserve(static_cast<size_t>(n));
-    std::vector<int> next_classes(n);
+    SignatureInterner signature_ids(signature.size(), n);
     for (int q = 0; q < n; ++q) {
-      signature.clear();
-      signature.reserve(num_symbols + 1);
-      signature.push_back(classes[q]);
+      signature[0] = classes[q];
       for (int a = 0; a < num_symbols; ++a) {
-        signature.push_back(classes[dfa.Next(q, a)]);
+        signature[static_cast<size_t>(a) + 1] = classes[dfa.Next(q, a)];
       }
-      auto [it, inserted] =
-          signature_ids.emplace(std::move(signature), signature_ids.size());
-      next_classes[q] = it->second;
+      next_classes[q] = signature_ids.Intern(signature.data());
     }
-    int next_num_classes = static_cast<int>(signature_ids.size());
-    classes = std::move(next_classes);
+    int next_num_classes = signature_ids.size();
+    std::swap(classes, next_classes);
     if (next_num_classes == num_classes) break;
     num_classes = next_num_classes;
   }

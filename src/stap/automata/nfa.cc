@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <utility>
 
 #include "stap/base/check.h"
 
@@ -37,6 +38,17 @@ void Nfa::AddTransition(int from, int symbol, int to) {
   STAP_CHECK(to >= 0 && to < num_states_);
   STAP_CHECK(symbol >= 0 && symbol < num_symbols_);
   StateSetInsert(delta_[from * num_symbols_ + symbol], to);
+}
+
+void Nfa::SetTransitionRow(int from, int symbol, StateSet targets) {
+  STAP_CHECK(from >= 0 && from < num_states_);
+  STAP_CHECK(symbol >= 0 && symbol < num_symbols_);
+  STAP_CHECK(std::is_sorted(targets.begin(), targets.end()));
+  STAP_CHECK(targets.empty() ||
+             (targets.front() >= 0 && targets.back() < num_states_));
+  STAP_CHECK(std::adjacent_find(targets.begin(), targets.end()) ==
+             targets.end());
+  delta_[from * num_symbols_ + symbol] = std::move(targets);
 }
 
 void Nfa::AddInitial(int state) {
@@ -77,8 +89,14 @@ void Nfa::NextInto(const StateSet& states, int symbol, StateSet* out) const {
 }
 
 StateSet Nfa::Run(const Word& word) const {
+  // Double-buffered NextInto: one allocation pair for the whole run
+  // instead of a fresh successor vector per symbol.
   StateSet current = initial_;
-  for (int symbol : word) current = Next(current, symbol);
+  StateSet scratch;
+  for (int symbol : word) {
+    NextInto(current, symbol, &scratch);
+    std::swap(current, scratch);
+  }
   return current;
 }
 

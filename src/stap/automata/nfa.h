@@ -37,6 +37,12 @@ class Nfa {
   int AddState();
 
   void AddTransition(int from, int symbol, int to);
+
+  // Replaces the whole successor row of (from, symbol). `targets` must be
+  // sorted and duplicate-free; bulk construction (ops.cc) uses this to
+  // emit each row once instead of paying a sorted insert per edge.
+  void SetTransitionRow(int from, int symbol, StateSet targets);
+
   void AddInitial(int state);
   void SetFinal(int state, bool is_final = true);
 

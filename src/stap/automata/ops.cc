@@ -1,5 +1,6 @@
 #include "stap/automata/ops.h"
 
+#include <algorithm>
 #include <unordered_map>
 #include <utility>
 
@@ -74,19 +75,28 @@ Dfa DfaComplement(const Dfa& dfa) {
 Nfa NfaUnion(const Nfa& a, const Nfa& b) {
   STAP_CHECK(a.num_symbols() == b.num_symbols());
   Nfa result(a.num_states() + b.num_states(), a.num_symbols());
+  // Source rows are already sorted and duplicate-free, so each row is
+  // copied (shifted for b) in one bulk assignment instead of per-edge
+  // sorted inserts.
   for (int q = 0; q < a.num_states(); ++q) {
     if (a.IsInitial(q)) result.AddInitial(q);
     if (a.IsFinal(q)) result.SetFinal(q);
     for (int sym = 0; sym < a.num_symbols(); ++sym) {
-      for (int r : a.Next(q, sym)) result.AddTransition(q, sym, r);
+      result.SetTransitionRow(q, sym, a.Next(q, sym));
     }
   }
   const int offset = a.num_states();
+  StateSet shifted;
   for (int q = 0; q < b.num_states(); ++q) {
     if (b.IsInitial(q)) result.AddInitial(offset + q);
     if (b.IsFinal(q)) result.SetFinal(offset + q);
     for (int sym = 0; sym < b.num_symbols(); ++sym) {
-      for (int r : b.Next(q, sym)) result.AddTransition(offset + q, sym, offset + r);
+      const StateSet& row = b.Next(q, sym);
+      if (row.empty()) continue;
+      shifted.clear();
+      shifted.reserve(row.size());
+      for (int r : row) shifted.push_back(offset + r);
+      result.SetTransitionRow(offset + q, sym, shifted);
     }
   }
   return result;
@@ -98,14 +108,28 @@ Nfa HomomorphicImage(const Dfa& dfa, const std::vector<int>& symbol_map,
   Nfa nfa(std::max(dfa.num_states(), 1), image_size);
   if (dfa.num_states() == 0) return nfa;
   nfa.AddInitial(dfa.initial());
+  // Non-injective maps merge several source symbols into one image row;
+  // gather each state's rows first, then sort-unique and emit each row
+  // once (same idiom as Nfa::NextInto).
+  std::vector<StateSet> rows(image_size);
+  std::vector<int> touched;
   for (int q = 0; q < dfa.num_states(); ++q) {
     if (dfa.IsFinal(q)) nfa.SetFinal(q);
+    touched.clear();
     for (int sym = 0; sym < dfa.num_symbols(); ++sym) {
       int r = dfa.Next(q, sym);
       if (r == kNoState) continue;
       int image = symbol_map[sym];
       STAP_CHECK(image >= 0 && image < image_size);
-      nfa.AddTransition(q, image, r);
+      if (rows[image].empty()) touched.push_back(image);
+      rows[image].push_back(r);
+    }
+    for (int image : touched) {
+      StateSet& row = rows[image];
+      std::sort(row.begin(), row.end());
+      row.erase(std::unique(row.begin(), row.end()), row.end());
+      nfa.SetTransitionRow(q, image, std::move(row));
+      row.clear();
     }
   }
   return nfa;

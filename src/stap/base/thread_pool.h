@@ -1,0 +1,155 @@
+// A fixed-size thread pool with one shared FIFO queue — deliberately
+// work-stealing-free. The approximation pipeline's parallel units (one
+// content-model inclusion check, one exchange closure, one product
+// content construction) are coarse, so a mutex-guarded queue is nowhere
+// near the bottleneck and keeps the pool small enough to audit.
+//
+// ParallelFor is the primary entry point: the calling thread participates
+// in draining the index range, so a pool with zero workers (or a null
+// pool via the static overload) degrades to the plain serial loop, and a
+// saturated pool can never deadlock a caller — the caller only waits for
+// indexes that some thread has actually claimed.
+#ifndef STAP_BASE_THREAD_POOL_H_
+#define STAP_BASE_THREAD_POOL_H_
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace stap {
+
+class ThreadPool {
+ public:
+  // Spawns max(num_threads, 0) worker threads. A pool with zero workers
+  // is valid: Submit runs tasks inline and ParallelFor loops serially.
+  explicit ThreadPool(int num_threads) {
+    workers_.reserve(num_threads > 0 ? num_threads : 0);
+    for (int i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      shutdown_ = true;
+    }
+    queue_cv_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  }
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // A sensible worker count for CPU-bound sweeps on this machine.
+  static int DefaultThreads() {
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+  }
+
+  // Enqueues a task; runs it inline when the pool has no workers. Tasks
+  // must not throw.
+  void Submit(std::function<void()> task) {
+    if (workers_.empty()) {
+      task();
+      return;
+    }
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_.push_back(std::move(task));
+    }
+    queue_cv_.notify_one();
+  }
+
+  // Runs fn(0), …, fn(n-1), in any order, possibly concurrently. Returns
+  // once every index has finished. Reentrant-safe: the caller drains
+  // indexes itself and never blocks on unstarted queue entries.
+  void ParallelFor(int n, const std::function<void(int)>& fn) {
+    if (n <= 0) return;
+    const int helpers =
+        std::min(static_cast<int>(workers_.size()), n - 1);
+    if (helpers == 0) {
+      for (int i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    auto state = std::make_shared<ForState>();
+    state->n = n;
+    state->fn = &fn;
+    for (int t = 0; t < helpers; ++t) {
+      Submit([state] { state->Drain(); });
+    }
+    state->Drain();
+    // All indexes are claimed once Drain returns; wait for claimed ones
+    // still in flight on other threads. Workers that dequeue the task
+    // after this point see next >= n and return untouched.
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->done_cv.wait(lock, [&] { return state->completed == n; });
+  }
+
+  // Null-tolerant convenience: serial loop when `pool` is null.
+  static void ParallelFor(ThreadPool* pool, int n,
+                          const std::function<void(int)>& fn) {
+    if (pool == nullptr) {
+      for (int i = 0; i < n; ++i) fn(i);
+    } else {
+      pool->ParallelFor(n, fn);
+    }
+  }
+
+ private:
+  struct ForState {
+    std::atomic<int> next{0};
+    int n = 0;
+    const std::function<void(int)>* fn = nullptr;
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    int completed = 0;  // guarded by mutex
+
+    void Drain() {
+      int claimed = 0;
+      while (true) {
+        int i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) break;
+        (*fn)(i);
+        ++claimed;
+      }
+      if (claimed > 0) {
+        std::unique_lock<std::mutex> lock(mutex);
+        completed += claimed;
+        if (completed == n) done_cv.notify_all();
+      }
+    }
+  };
+
+  void WorkerLoop() {
+    while (true) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        queue_cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // shutdown with an empty queue
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+};
+
+}  // namespace stap
+
+#endif  // STAP_BASE_THREAD_POOL_H_

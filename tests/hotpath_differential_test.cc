@@ -5,6 +5,9 @@
 // both implementations, so the DFAs must match structurally; Minimize
 // numbers Moore classes differently, so both sides are compared after
 // canonical renumbering.
+//
+// Run with --seed=N (or STAP_SEED=N) to explore a different random
+// stream; failures print the reproduction flag (see test_seed.h).
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -20,6 +23,7 @@
 #include "stap/automata/minimize.h"
 #include "stap/automata/state_set_hash.h"
 #include "stap/gen/random.h"
+#include "test_seed.h"
 
 namespace stap {
 namespace {
@@ -229,7 +233,7 @@ bool MapNfaIncludedInNfa(const Nfa& a, const Nfa& b) {
 class DifferentialTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(DifferentialTest, DeterminizeMatchesMapReference) {
-  std::mt19937 rng(GetParam() * 2654435761u + 97u);
+  std::mt19937 rng(test::MixSeed(GetParam() * 2654435761ull + 97));
   for (int round = 0; round < 20; ++round) {
     int n = 2 + round % 14;
     int sym = 2 + round % 4;
@@ -246,7 +250,7 @@ TEST_P(DifferentialTest, DeterminizeMatchesMapReference) {
 }
 
 TEST_P(DifferentialTest, MinimizeMatchesMapReference) {
-  std::mt19937 rng(GetParam() * 40503u + 2166136261u);
+  std::mt19937 rng(test::MixSeed(GetParam() * 40503ull + 2166136261ull));
   for (int round = 0; round < 20; ++round) {
     Nfa nfa = RandomNfa(&rng, 2 + round % 12, 2 + round % 3);
     Dfa dfa = Determinize(nfa);
@@ -257,7 +261,7 @@ TEST_P(DifferentialTest, MinimizeMatchesMapReference) {
 }
 
 TEST_P(DifferentialTest, InclusionAgreesWithMapReference) {
-  std::mt19937 rng(GetParam() * 314159u + 2718281u);
+  std::mt19937 rng(test::MixSeed(GetParam() * 314159ull + 2718281));
   for (int round = 0; round < 20; ++round) {
     int sym = 2 + round % 3;
     Nfa a = RandomNfa(&rng, 2 + round % 10, sym);
@@ -355,3 +359,9 @@ TEST(StateSetHashTest, OrderSensitiveAndConsistent) {
 
 }  // namespace
 }  // namespace stap
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  stap::test::InitTestSeed(&argc, argv);
+  return RUN_ALL_TESTS();
+}

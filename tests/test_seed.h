@@ -1,0 +1,84 @@
+// Seed plumbing for randomized differential tests.
+//
+// Tests that draw from RandomNfa/RandomEdtd derive their std::mt19937
+// seeds through MixSeed(salt), which folds in a process-wide base seed.
+// The base seed defaults to 0 (fully deterministic CI runs) and can be
+// overridden to explore new random streams:
+//
+//   ./hotpath_differential_test --seed=12345
+//   STAP_SEED=12345 ./hotpath_differential_test
+//
+// A test binary using this header must provide its own main() (link
+// against gtest, not gtest_main) and call InitTestSeed(&argc, argv) after
+// InitGoogleTest. On any test failure a listener prints the reproduction
+// flag, so a red run from a randomized sweep is always replayable.
+#ifndef STAP_TESTS_TEST_SEED_H_
+#define STAP_TESTS_TEST_SEED_H_
+
+#include <gtest/gtest.h>
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace stap {
+namespace test {
+
+inline uint64_t& BaseSeedRef() {
+  static uint64_t seed = 0;
+  return seed;
+}
+
+inline uint64_t BaseSeed() { return BaseSeedRef(); }
+
+// splitmix64 finalizer over (base seed, salt): well-spread 32-bit seeds
+// for per-test std::mt19937 streams, deterministic for a fixed base.
+inline uint32_t MixSeed(uint64_t salt) {
+  uint64_t z = BaseSeedRef() + 0x9e3779b97f4a7c15ULL * (salt + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return static_cast<uint32_t>(z ^ (z >> 31));
+}
+
+namespace internal {
+
+class SeedReportListener : public ::testing::EmptyTestEventListener {
+ public:
+  void OnTestPartResult(const ::testing::TestPartResult& result) override {
+    if (!result.failed()) return;
+    std::fprintf(stderr,
+                 "[  SEED    ] reproduce with --seed=%" PRIu64
+                 " (or STAP_SEED=%" PRIu64 ")\n",
+                 BaseSeed(), BaseSeed());
+  }
+};
+
+}  // namespace internal
+
+// Parses --seed=N out of argv (also honoring the STAP_SEED environment
+// variable; the flag wins) and installs the failure-reporting listener.
+inline void InitTestSeed(int* argc, char** argv) {
+  if (const char* env = std::getenv("STAP_SEED")) {
+    BaseSeedRef() = std::strtoull(env, nullptr, 10);
+  }
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      BaseSeedRef() = std::strtoull(argv[i] + 7, nullptr, 10);
+      for (int j = i; j + 1 < *argc; ++j) argv[j] = argv[j + 1];
+      --*argc;
+      --i;
+    }
+  }
+  if (BaseSeed() != 0) {
+    std::printf("[  SEED    ] running with --seed=%" PRIu64 "\n", BaseSeed());
+  }
+  ::testing::UnitTest::GetInstance()->listeners().Append(
+      new internal::SeedReportListener);
+}
+
+}  // namespace test
+}  // namespace stap
+
+#endif  // STAP_TESTS_TEST_SEED_H_
