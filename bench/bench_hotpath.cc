@@ -2,14 +2,28 @@
 // here as reference baselines). Instances are seeded random NFAs; run with
 // --benchmark_format=json for machine-readable before/after numbers (see
 // bench/results/hotpath.json and EXPERIMENTS.md).
+//
+// This bench has a custom main (no benchmark_main) so it accepts the same
+// global resource flags as the stap CLI, stripped before the benchmark
+// library parses the remainder:
+//   --budget-ms=N --max-states=N --max-sets=N   applied per iteration of
+//                                               the *Budgeted benchmarks
+//   --metrics-json[=F]                          dump the metrics registry
+//                                               after the run (F=- or bare
+//                                               flag writes to stderr)
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <cstdlib>
 #include <deque>
+#include <fstream>
+#include <iostream>
 #include <iterator>
 #include <map>
 #include <optional>
 #include <random>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -19,6 +33,8 @@
 #include "stap/automata/determinize.h"
 #include "stap/automata/inclusion.h"
 #include "stap/automata/minimize.h"
+#include "stap/base/budget.h"
+#include "stap/base/metrics.h"
 #include "stap/base/thread_pool.h"
 #include "stap/gen/random.h"
 #include "stap/regex/ast.h"
@@ -26,6 +42,28 @@
 
 namespace stap {
 namespace {
+
+// Budget limits parsed from the command line by main. Budgets latch once
+// exhausted, so the budgeted benchmarks build a fresh Budget per
+// iteration from these limits instead of sharing one instance.
+struct BudgetConfig {
+  int64_t budget_ms = -1;
+  int64_t max_states = -1;
+  int64_t max_sets = -1;
+};
+BudgetConfig g_budget_config;
+
+void ApplyBudgetConfig(Budget* budget) {
+  if (g_budget_config.budget_ms >= 0) {
+    budget->set_deadline_ms(g_budget_config.budget_ms);
+  }
+  if (g_budget_config.max_states >= 0) {
+    budget->set_max_states(g_budget_config.max_states);
+  }
+  if (g_budget_config.max_sets >= 0) {
+    budget->set_max_sets(g_budget_config.max_sets);
+  }
+}
 
 // ---------------------------------------------------------------------
 // Reference (pre-interning) kernels, including the original chained
@@ -301,6 +339,33 @@ BENCHMARK(BM_LowerBoundInclusionAntichain)->DenseRange(2, 18, 2)->Arg(64);
 BENCHMARK(BM_LowerBoundInclusionSubsets)->DenseRange(2, 18, 2);
 BENCHMARK(BM_LowerBoundInclusionDeterminize)->DenseRange(2, 18, 2);
 
+// Budget-governed determinization of the family: the subset construction
+// on (a+b)* a (a+b)^n builds 2^(n+1) DFA states, so Arg(24) is infeasible
+// without a cap. Each iteration gets a fresh Budget from the command-line
+// limits — topped up with a default state cap so the benchmark stays
+// bounded when run without flags — and the counter reports how many
+// iterations the budget cut short. What this measures is the overhead of
+// charging plus how quickly exhaustion unwinds: the per-iteration time at
+// Arg(24) should track the cap, not the 2^25 subset space.
+void BM_LowerBoundDeterminizeBudgeted(benchmark::State& state) {
+  Nfa nfa = LowerBoundNfa(static_cast<int>(state.range(0)));
+  int exhausted = 0;
+  for (auto _ : state) {
+    Budget budget;
+    ApplyBudgetConfig(&budget);
+    if (g_budget_config.budget_ms < 0 && g_budget_config.max_states < 0) {
+      budget.set_max_states(1 << 16);
+    }
+    StatusOr<Dfa> dfa = Determinize(nfa, &budget);
+    if (!dfa.ok()) ++exhausted;
+    benchmark::DoNotOptimize(dfa);
+  }
+  state.counters["exhausted"] =
+      benchmark::Counter(static_cast<double>(exhausted));
+}
+
+BENCHMARK(BM_LowerBoundDeterminizeBudgeted)->Arg(12)->Arg(24);
+
 // ---------------------------------------------------------------------
 // Parallel approximation sweep: EdtdIncludedInXsd with the per-pair
 // content checks on a ThreadPool. Arg = worker threads (0 = serial
@@ -327,5 +392,68 @@ void BM_EdtdInclusionSweep(benchmark::State& state) {
 
 BENCHMARK(BM_EdtdInclusionSweep)->Arg(0)->Arg(1)->Arg(2)->Arg(4);
 
+// Strips the stap resource flags (see the file comment) out of argv
+// before benchmark::Initialize sees them, filling g_budget_config and the
+// metrics sink. Returns false on a malformed integer value.
+bool StripResourceFlags(int* argc, char** argv, bool* dump_metrics,
+                        std::string* metrics_path) {
+  auto int_value = [](const char* text, int64_t* out) {
+    char* end = nullptr;
+    long long parsed = std::strtoll(text, &end, 10);
+    if (end == text || *end != '\0' || parsed < 0) return false;
+    *out = parsed;
+    return true;
+  };
+  int kept = 1;
+  bool ok = true;
+  for (int i = 1; i < *argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--budget-ms=", 0) == 0) {
+      ok = ok && int_value(arg.c_str() + 12, &g_budget_config.budget_ms);
+    } else if (arg.rfind("--max-states=", 0) == 0) {
+      ok = ok && int_value(arg.c_str() + 13, &g_budget_config.max_states);
+    } else if (arg.rfind("--max-sets=", 0) == 0) {
+      ok = ok && int_value(arg.c_str() + 11, &g_budget_config.max_sets);
+    } else if (arg == "--metrics-json") {
+      *dump_metrics = true;
+    } else if (arg.rfind("--metrics-json=", 0) == 0) {
+      *dump_metrics = true;
+      *metrics_path = arg.substr(15);
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  *argc = kept;
+  return ok;
+}
+
 }  // namespace
 }  // namespace stap
+
+int main(int argc, char** argv) {
+  bool dump_metrics = false;
+  std::string metrics_path;
+  if (!stap::StripResourceFlags(&argc, argv, &dump_metrics, &metrics_path)) {
+    std::cerr << "error: malformed resource flag value\n";
+    return 1;
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (dump_metrics) {
+    const std::string json = stap::MetricsRegistry::Global()->ToJson();
+    if (metrics_path.empty() || metrics_path == "-") {
+      std::cerr << json << "\n";
+    } else {
+      std::ofstream out(metrics_path);
+      if (!out) {
+        std::cerr << "error: cannot write metrics to '" << metrics_path
+                  << "'\n";
+        return 1;
+      }
+      out << json << "\n";
+    }
+  }
+  return 0;
+}

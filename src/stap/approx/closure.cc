@@ -6,6 +6,7 @@
 
 #include "stap/automata/state_set_hash.h"
 #include "stap/base/check.h"
+#include "stap/base/metrics.h"
 
 namespace stap {
 
@@ -28,9 +29,16 @@ class ClosureEngine {
       : guard_(guard), options_(options) {}
 
   ClosureResult Run(const std::vector<Tree>& seeds) {
+    static Counter* const calls = GetCounter("closure.calls");
+    static Counter* const members = GetCounter("closure.members_added");
+    static Counter* const exchanges = GetCounter("closure.exchanges_tried");
+    calls->Increment();
+    members_ = members;
+    exchanges_ = exchanges;
+
     for (const Tree& seed : seeds) AddTree(seed, std::nullopt);
     result_.seed_count = static_cast<int>(result_.trees.size());
-    if (result_.stop_match.has_value()) {
+    if (result_.stop_match.has_value() || !result_.status.ok()) {
       result_.saturated = false;
       return std::move(result_);
     }
@@ -41,6 +49,13 @@ class ClosureEngine {
          current < result_.trees.size() &&
          static_cast<int>(result_.trees.size()) < options_.max_trees;
          ++current) {
+      if (result_.status.ok()) {
+        result_.status = Budget::CheckDeadline(options_.budget);
+      }
+      if (!result_.status.ok()) {
+        result_.saturated = false;
+        return std::move(result_);
+      }
       const std::vector<std::pair<GuardKey, TreePath>> nodes =
           GuardedNodes(result_.trees[current]);
       for (const auto& [key, path] : nodes) {
@@ -54,7 +69,8 @@ class ClosureEngine {
           TryExchange(partner.tree, partner.path, static_cast<int>(current),
                       path);
           if (result_.stop_match.has_value() ||
-              static_cast<int>(result_.trees.size()) >= options_.max_trees) {
+              static_cast<int>(result_.trees.size()) >= options_.max_trees ||
+              !result_.status.ok()) {
             result_.saturated = false;
             return std::move(result_);
           }
@@ -98,6 +114,10 @@ class ClosureEngine {
     int index = it->second;
     result_.trees.push_back(tree);
     result_.provenance.push_back(std::move(provenance));
+    members_->Increment();
+    if (result_.status.ok()) {
+      result_.status = Budget::ChargeStates(options_.budget);
+    }
     if (options_.stop_predicate && !result_.stop_match.has_value() &&
         options_.stop_predicate(tree)) {
       result_.stop_match = tree;
@@ -111,6 +131,7 @@ class ClosureEngine {
   void TryExchange(int base, const TreePath& base_path, int donor,
                    const TreePath& donor_path) {
     if (base == donor && base_path == donor_path) return;
+    exchanges_->Increment();
     const Tree& base_tree = result_.trees[base];
     const Tree& donor_tree = result_.trees[donor];
     Tree exchanged =
@@ -122,6 +143,8 @@ class ClosureEngine {
   const Dfa* guard_;  // null for the ancestor-string-guarded variant
   ClosureOptions options_;
   ClosureResult result_;
+  Counter* members_ = nullptr;    // cached registry pointers, set in Run
+  Counter* exchanges_ = nullptr;
   std::map<Tree, int> known_;
   // Guard keys are int sequences (ancestor strings or (state, label)
   // pairs); hashed lookup keeps the per-node indexing O(|key|).

@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "stap/automata/dfa.h"
+#include "stap/base/budget.h"
+#include "stap/base/status.h"
 #include "stap/tree/tree.h"
 
 namespace stap {
@@ -35,11 +37,15 @@ struct ClosureResult {
   int seed_count = 0;
   // provenance[i] is empty for seeds.
   std::vector<std::optional<ExchangeStep>> provenance;
-  // False if the fixpoint was stopped by the cap or the stop predicate
-  // before saturating.
+  // False if the fixpoint was stopped by the cap, the stop predicate, or
+  // an exhausted budget before saturating.
   bool saturated = true;
   // The member that triggered ClosureOptions::stop_predicate, if any.
   std::optional<Tree> stop_match;
+  // kResourceExhausted when ClosureOptions::budget ran out mid-fixpoint
+  // (the members accumulated so far are still valid closure members);
+  // OK otherwise.
+  Status status;
 
   bool Contains(const Tree& tree) const;
 };
@@ -59,6 +65,11 @@ struct ClosureOptions {
   // Used to search for escape witnesses without materializing the whole
   // closure.
   std::function<bool(const Tree&)> stop_predicate;
+  // Optional resource budget: every registered member charges the state
+  // quota and the fixpoint loop samples the deadline. Exhaustion stops the
+  // run with ClosureResult::status = kResourceExhausted. Not owned; null
+  // is unlimited.
+  Budget* budget = nullptr;
 };
 
 // Least fixpoint of ancestor-guarded subtree exchange (Definition 2.10

@@ -10,14 +10,20 @@
 #include "stap/automata/ops.h"
 #include "stap/automata/state_set_hash.h"
 #include "stap/base/check.h"
+#include "stap/base/metrics.h"
 #include "stap/base/thread_pool.h"
 #include "stap/schema/reduce.h"
 #include "stap/schema/type_automaton.h"
 
 namespace stap {
 
-bool EdtdIncludedInXsd(const Edtd& d1_in, const DfaXsd& xsd2,
-                       ThreadPool* pool) {
+StatusOr<bool> EdtdIncludedInXsd(const Edtd& d1_in, const DfaXsd& xsd2,
+                                 ThreadPool* pool, Budget* budget) {
+  static Counter* const calls = GetCounter("approx.inclusion_calls");
+  static Counter* const pairs = GetCounter("approx.inclusion_pairs");
+  static Histogram* const latency = GetHistogram("approx.inclusion_ms");
+  calls->Increment();
+  ScopedTimer timer(latency);
   // Align alphabets by rebuilding d1 over xsd2's alphabet extended with
   // d1's extra symbols; symbols unknown to xsd2 make inclusion fail as
   // soon as they are reachable.
@@ -53,11 +59,17 @@ bool EdtdIncludedInXsd(const Edtd& d1_in, const DfaXsd& xsd2,
   // version), so collecting first is verdict-equivalent.
   std::unordered_set<uint64_t, U64Hash> seen;
   std::vector<std::pair<int, int>> worklist;
+  Status charge_status;
   auto visit = [&](int s1, int q2) {
-    if (seen.insert(PackPair(s1, q2)).second) worklist.emplace_back(s1, q2);
+    if (seen.insert(PackPair(s1, q2)).second) {
+      worklist.emplace_back(s1, q2);
+      pairs->Increment();
+      if (charge_status.ok()) charge_status = Budget::ChargeStates(budget);
+    }
   };
   visit(TypeAutomaton::kInit, xsd2_init);
-  for (size_t processed = 0; processed < worklist.size(); ++processed) {
+  for (size_t processed = 0;
+       processed < worklist.size() && charge_status.ok(); ++processed) {
     auto [s1, q2] = worklist[processed];
     // Expand along both automata; when the XSD side has no transition the
     // content check below fails for this pair (reduced d1 guarantees the
@@ -72,12 +84,16 @@ bool EdtdIncludedInXsd(const Edtd& d1_in, const DfaXsd& xsd2,
     }
   }
 
+  STAP_RETURN_IF_ERROR(charge_status);
+
   // Phase 2: content inclusion μ1(d1(τ)) ⊆ f2(q) at every reachable pair,
-  // swept in parallel with a cooperative early-out on the first failure.
+  // swept in parallel with a cooperative early-out on the first failure
+  // or the first exhausted budget.
   std::atomic<bool> failed{false};
+  SharedStatus shared;
   ThreadPool::ParallelFor(
       pool, static_cast<int>(worklist.size()), [&](int i) {
-        if (failed.load(std::memory_order_relaxed)) return;
+        if (failed.load(std::memory_order_relaxed) || !shared.ok()) return;
         auto [s1, q2] = worklist[i];
         if (s1 == TypeAutomaton::kInit) return;
         int tau = TypeAutomaton::TypeOfState(s1);
@@ -100,25 +116,51 @@ bool EdtdIncludedInXsd(const Edtd& d1_in, const DfaXsd& xsd2,
           }
           f2 = std::move(expanded);
         }
-        if (!NfaIncludedInDfa(image, f2)) {
+        StatusOr<bool> included = NfaIncludedInDfa(image, f2, budget);
+        if (!included.ok()) {
+          shared.Update(included.status());
+          return;
+        }
+        if (!*included) {
           failed.store(true, std::memory_order_relaxed);
         }
       });
-  return !failed.load();
+  // A definite counterexample beats an exhausted budget: the verdict is
+  // sound regardless of whatever the other workers left unfinished.
+  if (failed.load()) return false;
+  STAP_RETURN_IF_ERROR(shared.ToStatus());
+  return true;
 }
 
-bool IncludedInSingleType(const Edtd& d1, const Edtd& d2_in,
-                          ThreadPool* pool) {
+bool EdtdIncludedInXsd(const Edtd& d1, const DfaXsd& xsd2, ThreadPool* pool) {
+  StatusOr<bool> result = EdtdIncludedInXsd(d1, xsd2, pool, nullptr);
+  return *std::move(result);  // a null budget never exhausts
+}
+
+StatusOr<bool> IncludedInSingleType(const Edtd& d1, const Edtd& d2_in,
+                                    ThreadPool* pool, Budget* budget) {
   auto [d1_aligned, d2_aligned] = AlignAlphabets(d1, d2_in);
   Edtd d2 = ReduceEdtd(d2_aligned);
   STAP_CHECK(IsSingleType(d2));
   if (d2.num_types() == 0) return ReduceEdtd(d1_aligned).num_types() == 0;
-  return EdtdIncludedInXsd(d1_aligned, DfaXsdFromStEdtd(d2), pool);
+  return EdtdIncludedInXsd(d1_aligned, DfaXsdFromStEdtd(d2), pool, budget);
+}
+
+bool IncludedInSingleType(const Edtd& d1, const Edtd& d2, ThreadPool* pool) {
+  StatusOr<bool> result = IncludedInSingleType(d1, d2, pool, nullptr);
+  return *std::move(result);  // a null budget never exhausts
+}
+
+StatusOr<bool> SingleTypeEquivalent(const Edtd& d1, const Edtd& d2,
+                                    ThreadPool* pool, Budget* budget) {
+  StatusOr<bool> forward = IncludedInSingleType(d1, d2, pool, budget);
+  if (!forward.ok() || !*forward) return forward;
+  return IncludedInSingleType(d2, d1, pool, budget);
 }
 
 bool SingleTypeEquivalent(const Edtd& d1, const Edtd& d2, ThreadPool* pool) {
-  return IncludedInSingleType(d1, d2, pool) &&
-         IncludedInSingleType(d2, d1, pool);
+  StatusOr<bool> result = SingleTypeEquivalent(d1, d2, pool, nullptr);
+  return *std::move(result);  // a null budget never exhausts
 }
 
 }  // namespace stap

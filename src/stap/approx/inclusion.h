@@ -13,6 +13,8 @@
 #ifndef STAP_APPROX_INCLUSION_H_
 #define STAP_APPROX_INCLUSION_H_
 
+#include "stap/base/budget.h"
+#include "stap/base/status.h"
 #include "stap/schema/edtd.h"
 #include "stap/schema/single_type.h"
 
@@ -26,13 +28,25 @@ class ThreadPool;
 bool EdtdIncludedInXsd(const Edtd& d1, const DfaXsd& xsd2,
                        ThreadPool* pool = nullptr);
 
+// Budgeted variant: the pair BFS charges states and the per-pair content
+// inclusions run the budgeted antichain engine; the first exhausted
+// worker wins and the sweep drains cooperatively. No defaults (avoids
+// colliding with the defaulted signature above); a null budget is
+// unlimited.
+StatusOr<bool> EdtdIncludedInXsd(const Edtd& d1, const DfaXsd& xsd2,
+                                 ThreadPool* pool, Budget* budget);
+
 // Convenience wrapper: d2 must be single-type (checked).
 bool IncludedInSingleType(const Edtd& d1, const Edtd& d2,
                           ThreadPool* pool = nullptr);
+StatusOr<bool> IncludedInSingleType(const Edtd& d1, const Edtd& d2,
+                                    ThreadPool* pool, Budget* budget);
 
 // Language equivalence of two single-type EDTDs (both checked).
 bool SingleTypeEquivalent(const Edtd& d1, const Edtd& d2,
                           ThreadPool* pool = nullptr);
+StatusOr<bool> SingleTypeEquivalent(const Edtd& d1, const Edtd& d2,
+                                    ThreadPool* pool, Budget* budget);
 
 }  // namespace stap
 

@@ -58,10 +58,16 @@ LowerCheckResult CheckMaximalLowerFinite(const Edtd& candidate_in,
   result.is_lower = EdtdIncludedInExact(candidate, target);
   if (!result.is_lower) return result;
 
-  // Bounded enumerations of both languages.
+  // Bounded enumerations of both languages. The enumeration itself can be
+  // the largest loop on wide bounds, so it samples the deadline too.
   std::vector<Tree> in_candidate;
   std::vector<Tree> extension_pool;
   for (const Tree& tree : EnumerateTrees(bounds)) {
+    result.status = Budget::ChargeSets(options.budget);
+    if (!result.status.ok()) {
+      result.exhaustive = false;
+      return result;
+    }
     if (candidate.Accepts(tree)) {
       in_candidate.push_back(tree);
     } else if (target.Accepts(tree)) {
@@ -88,11 +94,13 @@ LowerCheckResult CheckMaximalLowerFinite(const Edtd& candidate_in,
   const int n = static_cast<int>(extension_pool.size());
   std::vector<uint8_t> outcome(n, kUnknown);
   std::atomic<int> first_ext{n};
+  SharedStatus shared;
   ThreadPool::ParallelFor(pool, n, [&](int i) {
     if (i > first_ext.load(std::memory_order_relaxed)) return;
     std::vector<Tree> seeds = in_candidate;
     seeds.push_back(extension_pool[i]);
     ClosureResult closure = CloseUnderExchange(seeds, exchange_options);
+    shared.Update(closure.status);
     if (closure.stop_match.has_value()) {
       outcome[i] = kEscaped;
     } else if (closure.saturated) {
@@ -103,9 +111,13 @@ LowerCheckResult CheckMaximalLowerFinite(const Edtd& candidate_in,
                                               std::memory_order_relaxed)) {
       }
     } else {
+      // Capped or budget-exhausted fixpoints both prove nothing about
+      // this extension.
       outcome[i] = kNotSaturated;
     }
   });
+  result.status = shared.ToStatus();
+  if (!result.status.ok()) result.exhaustive = false;
   for (int i = 0; i < n; ++i) {
     if (outcome[i] == kNotSaturated) result.exhaustive = false;
     if (outcome[i] == kSaturated) {

@@ -39,6 +39,11 @@ struct LowerCheckResult {
   // False when a closure fixpoint hit its cap; is_maximal is then only
   // "no extension found within the caps".
   bool exhaustive = true;
+  // kResourceExhausted when ClosureOptions::budget tripped during the
+  // enumeration or any closure fixpoint (exhaustive is then also false:
+  // the budgeted run proved nothing about the skipped extensions); OK
+  // otherwise. A found extension is still a real extension.
+  Status status;
 };
 
 // Decides maximality of the lower approximation on the bounded instance:

@@ -18,8 +18,9 @@
 
 namespace stap {
 
-bool IsMinimalUpperApproximation(const Edtd& candidate_in,
-                                 const Edtd& target_in, ThreadPool* pool) {
+StatusOr<bool> IsMinimalUpperApproximation(const Edtd& candidate_in,
+                                           const Edtd& target_in,
+                                           ThreadPool* pool, Budget* budget) {
   auto [candidate_aligned, target_aligned] =
       AlignAlphabets(candidate_in, target_in);
   Edtd candidate = ReduceEdtd(candidate_aligned);
@@ -32,7 +33,9 @@ bool IsMinimalUpperApproximation(const Edtd& candidate_in,
   if (target.num_types() == 0) return candidate.num_types() == 0;
   if (candidate.num_types() == 0) return false;
   DfaXsd candidate_xsd = DfaXsdFromStEdtd(candidate);
-  if (!EdtdIncludedInXsd(target, candidate_xsd, pool)) return false;
+  StatusOr<bool> upper = EdtdIncludedInXsd(target, candidate_xsd, pool, budget);
+  if (!upper.ok()) return upper.status();
+  if (!*upper) return false;
 
   // Phase 2: L(candidate) ⊆ L(minupper(target)) — per the paper it
   // suffices to check inclusion, since minupper is the least single-type
@@ -53,10 +56,12 @@ bool IsMinimalUpperApproximation(const Edtd& candidate_in,
   StateSetInterner subsets;
   std::unordered_set<uint64_t, U64Hash> seen;
   std::vector<std::pair<int, int>> worklist;  // (candidate state, subset id)
+  Status charge_status;
   auto visit = [&](int q, StateSet&& subset) {
     int subset_id = subsets.Intern(std::move(subset)).first;
     if (seen.insert(PackPair(q, subset_id)).second) {
       worklist.emplace_back(q, subset_id);
+      if (charge_status.ok()) charge_status = Budget::ChargeSets(budget);
     }
   };
   visit(candidate_xsd.automaton.initial(), StateSet{TypeAutomaton::kInit});
@@ -65,7 +70,8 @@ bool IsMinimalUpperApproximation(const Edtd& candidate_in,
   // depended on the content verdicts), then one parallel sweep of the
   // content checks over the collected pairs.
   StateSet scratch;
-  for (size_t processed = 0; processed < worklist.size(); ++processed) {
+  for (size_t processed = 0;
+       processed < worklist.size() && charge_status.ok(); ++processed) {
     const auto [q, subset_id] = worklist[processed];
     for (int a = 0; a < num_symbols; ++a) {
       int q_next = candidate_xsd.automaton.Next(q, a);
@@ -75,6 +81,7 @@ bool IsMinimalUpperApproximation(const Edtd& candidate_in,
       visit(q_next, std::move(scratch));
     }
   }
+  STAP_RETURN_IF_ERROR(charge_status);
 
   // Union NFA of a subset's content images. Built once per subset id (all
   // ids occur in the worklist); the antichain inclusion consumes the NFA
@@ -97,19 +104,37 @@ bool IsMinimalUpperApproximation(const Edtd& candidate_in,
 
   const int candidate_init = candidate_xsd.automaton.initial();
   std::atomic<bool> failed{false};
+  SharedStatus shared;
   ThreadPool::ParallelFor(
       pool, static_cast<int>(worklist.size()), [&](int i) {
-        if (failed.load(std::memory_order_relaxed)) return;
+        if (failed.load(std::memory_order_relaxed) || !shared.ok()) return;
         const auto [q, subset_id] = worklist[i];
         if (q == candidate_init) return;
         // Candidate content must be inside the union of the subset's
         // contents.
         Nfa image = candidate_xsd.content[q].ToNfa();
-        if (!AntichainIncluded(image, subset_content[subset_id])) {
+        StatusOr<bool> included =
+            AntichainIncluded(image, subset_content[subset_id], budget);
+        if (!included.ok()) {
+          shared.Update(included.status());
+          return;
+        }
+        if (!*included) {
           failed.store(true, std::memory_order_relaxed);
         }
       });
-  return !failed.load();
+  // A definite non-inclusion verdict stands even if another worker
+  // exhausted the budget.
+  if (failed.load()) return false;
+  STAP_RETURN_IF_ERROR(shared.ToStatus());
+  return true;
+}
+
+bool IsMinimalUpperApproximation(const Edtd& candidate, const Edtd& target,
+                                 ThreadPool* pool) {
+  StatusOr<bool> result =
+      IsMinimalUpperApproximation(candidate, target, pool, nullptr);
+  return *std::move(result);  // a null budget never exhausts
 }
 
 }  // namespace stap

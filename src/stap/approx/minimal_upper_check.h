@@ -13,6 +13,8 @@
 #ifndef STAP_APPROX_MINIMAL_UPPER_CHECK_H_
 #define STAP_APPROX_MINIMAL_UPPER_CHECK_H_
 
+#include "stap/base/budget.h"
+#include "stap/base/status.h"
 #include "stap/schema/edtd.h"
 
 namespace stap {
@@ -23,6 +25,13 @@ class ThreadPool;
 // `candidate` must be single-type (checked); `target` may be any EDTD.
 bool IsMinimalUpperApproximation(const Edtd& candidate, const Edtd& target,
                                  ThreadPool* pool = nullptr);
+
+// Budgeted variant: the lazy product pairs charge the set quota and the
+// per-pair antichain inclusions charge through the same budget, bounding
+// the PSPACE-hard phase. No defaults; a null budget is unlimited.
+StatusOr<bool> IsMinimalUpperApproximation(const Edtd& candidate,
+                                           const Edtd& target,
+                                           ThreadPool* pool, Budget* budget);
 
 }  // namespace stap
 

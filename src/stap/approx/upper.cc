@@ -6,13 +6,21 @@
 #include "stap/automata/minimize.h"
 #include "stap/automata/ops.h"
 #include "stap/base/check.h"
+#include "stap/base/metrics.h"
 #include "stap/schema/reduce.h"
 #include "stap/schema/type_automaton.h"
 
 namespace stap {
 
-DfaXsd MinimalUpperApproximation(const Edtd& input,
-                                 const UpperOptions& options) {
+StatusOr<DfaXsd> MinimalUpperApproximation(const Edtd& input, Budget* budget,
+                                           const UpperOptions& options) {
+  static Counter* const calls = GetCounter("approx.upper_calls");
+  static Counter* const merged_states =
+      GetCounter("approx.upper_merged_states");
+  static Histogram* const latency = GetHistogram("approx.upper_ms");
+  calls->Increment();
+  ScopedTimer timer(latency);
+
   Edtd edtd = ReduceEdtd(input);
   TypeAutomaton type_automaton = BuildTypeAutomaton(edtd);
 
@@ -20,7 +28,10 @@ DfaXsd MinimalUpperApproximation(const Edtd& input,
   // either {q_init}, empty (the dead sink), or a set of type states that
   // all carry the same Σ-label.
   std::vector<StateSet> subsets;
-  Dfa determinized = Determinize(type_automaton.nfa, &subsets);
+  StatusOr<Dfa> determinized_or =
+      Determinize(type_automaton.nfa, budget, &subsets);
+  if (!determinized_or.ok()) return determinized_or.status();
+  Dfa determinized = *std::move(determinized_or);
 
   // Renumber: {q_init} becomes state 0; non-empty subsets get 1..; the
   // empty sink is dropped.
@@ -45,6 +56,7 @@ DfaXsd MinimalUpperApproximation(const Edtd& input,
   xsd.state_label.assign(next_id, kNoSymbol);
   xsd.content.assign(next_id, Dfa::EmptyLanguage(edtd.num_symbols()));
 
+  merged_states->Increment(next_id);
   for (int s = 0; s < n; ++s) {
     if (remap[s] == kNoState) continue;
     for (int a = 0; a < edtd.num_symbols(); ++a) {
@@ -76,12 +88,24 @@ DfaXsd MinimalUpperApproximation(const Edtd& input,
     }
     STAP_CHECK(!first);  // non-empty subset
     xsd.state_label[remap[s]] = label;
-    xsd.content[remap[s]] = options.minimize_content
-                                ? MinimizeNfa(content_union)
-                                : Determinize(content_union).Trimmed();
+    if (options.minimize_content) {
+      StatusOr<Dfa> content = MinimizeNfa(content_union, budget);
+      if (!content.ok()) return content.status();
+      xsd.content[remap[s]] = *std::move(content);
+    } else {
+      StatusOr<Dfa> content = Determinize(content_union, budget);
+      if (!content.ok()) return content.status();
+      xsd.content[remap[s]] = content->Trimmed();
+    }
   }
   xsd.CheckWellFormed();
   return xsd;
+}
+
+DfaXsd MinimalUpperApproximation(const Edtd& input,
+                                 const UpperOptions& options) {
+  StatusOr<DfaXsd> result = MinimalUpperApproximation(input, nullptr, options);
+  return *std::move(result);  // a null budget never exhausts
 }
 
 }  // namespace stap

@@ -8,6 +8,8 @@
 #ifndef STAP_APPROX_UPPER_H_
 #define STAP_APPROX_UPPER_H_
 
+#include "stap/base/budget.h"
+#include "stap/base/status.h"
 #include "stap/schema/edtd.h"
 #include "stap/schema/single_type.h"
 
@@ -26,6 +28,13 @@ struct UpperOptions {
 // reachable non-empty subsets of ∆.
 DfaXsd MinimalUpperApproximation(const Edtd& edtd,
                                  const UpperOptions& options = {});
+
+// Budgeted variant: the type-automaton subset construction and every
+// per-subset content determinization charge the budget's state quota, so
+// the Theorem 3.2 exponential family aborts with kResourceExhausted
+// instead of exhausting memory. A null budget is unlimited.
+StatusOr<DfaXsd> MinimalUpperApproximation(const Edtd& edtd, Budget* budget,
+                                           const UpperOptions& options = {});
 
 }  // namespace stap
 

@@ -109,7 +109,8 @@ Edtd EdtdUnion(const Edtd& a_in, const Edtd& b_in) {
   return result;
 }
 
-Edtd EdtdIntersection(const Edtd& a_in, const Edtd& b_in, ThreadPool* pool) {
+StatusOr<Edtd> EdtdIntersection(const Edtd& a_in, const Edtd& b_in,
+                                ThreadPool* pool, Budget* budget) {
   auto [a, b] = AlignAlphabets(a_in, b_in);
   const int na = a.num_types();
   const int nb = b.num_types();
@@ -139,12 +140,26 @@ Edtd EdtdIntersection(const Edtd& a_in, const Edtd& b_in, ThreadPool* pool) {
     project_b[id] = live_pairs[id].second;
   }
   result.content.resize(n, Dfa());
+  SharedStatus shared;
   ThreadPool::ParallelFor(pool, n, [&](int id) {
+    if (!shared.ok()) return;  // another worker already exhausted
     auto [ta, tb] = live_pairs[id];
     Dfa lifted_a = InverseHomomorphism(a.content[ta], project_a, n);
     Dfa lifted_b = InverseHomomorphism(b.content[tb], project_b, n);
-    result.content[id] = Minimize(DfaIntersection(lifted_a, lifted_b));
+    StatusOr<Dfa> product =
+        DfaProduct(lifted_a, lifted_b, BoolOp::kAnd, budget);
+    if (!product.ok()) {
+      shared.Update(product.status());
+      return;
+    }
+    StatusOr<Dfa> minimized = Minimize(*product, budget);
+    if (!minimized.ok()) {
+      shared.Update(minimized.status());
+      return;
+    }
+    result.content[id] = *std::move(minimized);
   });
+  STAP_RETURN_IF_ERROR(shared.ToStatus());
   for (int ta : a.start_types) {
     for (int tb : b.start_types) {
       int id = pair_id[ta * nb + tb];
@@ -155,7 +170,13 @@ Edtd EdtdIntersection(const Edtd& a_in, const Edtd& b_in, ThreadPool* pool) {
   return ReduceEdtd(result);
 }
 
-Edtd ComplementEdtd(const DfaXsd& xsd, ThreadPool* pool) {
+Edtd EdtdIntersection(const Edtd& a, const Edtd& b, ThreadPool* pool) {
+  StatusOr<Edtd> result = EdtdIntersection(a, b, pool, nullptr);
+  return *std::move(result);  // a null budget never exhausts
+}
+
+StatusOr<Edtd> ComplementEdtd(const DfaXsd& xsd, ThreadPool* pool,
+                              Budget* budget) {
   xsd.CheckWellFormed();
   const int num_symbols = xsd.sigma.size();
   const int num_states = xsd.automaton.num_states();
@@ -194,7 +215,9 @@ Edtd ComplementEdtd(const DfaXsd& xsd, ThreadPool* pool) {
   result.content.resize(n, Dfa());
   // One independent content build per path type (disjoint slots), swept in
   // parallel when a pool is supplied.
+  SharedStatus shared;
   ThreadPool::ParallelFor(pool, num_path, [&](int i) {
+    if (!shared.ok()) return;
     const int q = i + 1;
     // L1: child strings whose Σ-projection violates f(q); all children get
     // "anything" types.
@@ -210,8 +233,14 @@ Edtd ComplementEdtd(const DfaXsd& xsd, ThreadPool* pool) {
       int next = xsd.automaton.Next(q, a);
       if (next != kNoState) l2.AddTransition(0, next - 1, 1);
     }
-    result.content[q - 1] = Minimize(Determinize(NfaUnion(l1.ToNfa(), l2)));
+    StatusOr<Dfa> content = MinimizeNfa(NfaUnion(l1.ToNfa(), l2), budget);
+    if (!content.ok()) {
+      shared.Update(content.status());
+      return;
+    }
+    result.content[q - 1] = *std::move(content);
   });
+  STAP_RETURN_IF_ERROR(shared.ToStatus());
   // Any-types accept any child string of any-types.
   Dfa all_any(1, n);
   all_any.SetFinal(0);
@@ -224,7 +253,13 @@ Edtd ComplementEdtd(const DfaXsd& xsd, ThreadPool* pool) {
   return result;
 }
 
-Edtd DifferenceEdtd(const Edtd& d1, const DfaXsd& xsd2, ThreadPool* pool) {
+Edtd ComplementEdtd(const DfaXsd& xsd, ThreadPool* pool) {
+  StatusOr<Edtd> result = ComplementEdtd(xsd, pool, nullptr);
+  return *std::move(result);  // a null budget never exhausts
+}
+
+StatusOr<Edtd> DifferenceEdtd(const Edtd& d1, const DfaXsd& xsd2,
+                              ThreadPool* pool, Budget* budget) {
   STAP_CHECK(d1.sigma == xsd2.sigma);
   d1.CheckWellFormed();
   xsd2.CheckWellFormed();
@@ -278,15 +313,22 @@ Edtd DifferenceEdtd(const Edtd& d1, const DfaXsd& xsd2, ThreadPool* pool) {
   // Rule (4): pair types either find the violation in this child string or
   // hand the guess to exactly one child. Each pair writes its own content
   // slot; the builds run as one parallel sweep.
+  SharedStatus shared;
   ThreadPool::ParallelFor(pool, static_cast<int>(pairs.size()), [&](int p) {
+    if (!shared.ok()) return;
     auto [tau, q] = pairs[p];
     const Dfa& c1 = d1.content[tau];
     const Dfa f2 = xsd2.content[q].Completed();
 
     // L1 = { w ∈ d1(τ) : μ1(w) ∉ f2(q) }, all children typed by D1 only.
-    Dfa violating = DfaIntersection(
-        c1, InverseHomomorphism(DfaComplement(xsd2.content[q]), d1.mu, n1));
-    Dfa l1 = ExpandAlphabet(violating, n);
+    StatusOr<Dfa> violating = DfaProduct(
+        c1, InverseHomomorphism(DfaComplement(xsd2.content[q]), d1.mu, n1),
+        BoolOp::kAnd, budget);
+    if (!violating.ok()) {
+      shared.Update(violating.status());
+      return;
+    }
+    Dfa l1 = ExpandAlphabet(*violating, n);
 
     // L2: product of c1 and f2 with a one-shot switch onto a pair type.
     // States (s1, s2, mode) flattened.
@@ -322,24 +364,45 @@ Edtd DifferenceEdtd(const Edtd& d1, const DfaXsd& xsd2, ThreadPool* pool) {
           }
         }
       }
-      result.content[n1 + p] = Minimize(Determinize(NfaUnion(l1.ToNfa(), l2)));
+      StatusOr<Dfa> content = MinimizeNfa(NfaUnion(l1.ToNfa(), l2), budget);
+      if (!content.ok()) {
+        shared.Update(content.status());
+        return;
+      }
+      result.content[n1 + p] = *std::move(content);
     } else {
-      result.content[n1 + p] = Minimize(l1);
+      StatusOr<Dfa> content = Minimize(l1, budget);
+      if (!content.ok()) {
+        shared.Update(content.status());
+        return;
+      }
+      result.content[n1 + p] = *std::move(content);
     }
   });
+  STAP_RETURN_IF_ERROR(shared.ToStatus());
 
   result.CheckWellFormed();
   return result;
 }
 
-DfaXsd UpperUnion(const Edtd& d1, const Edtd& d2) {
-  STAP_CHECK(IsSingleType(d1));
-  STAP_CHECK(IsSingleType(d2));
-  return MinimalUpperApproximation(EdtdUnion(d1, d2));
+Edtd DifferenceEdtd(const Edtd& d1, const DfaXsd& xsd2, ThreadPool* pool) {
+  StatusOr<Edtd> result = DifferenceEdtd(d1, xsd2, pool, nullptr);
+  return *std::move(result);  // a null budget never exhausts
 }
 
-DfaXsd UpperIntersection(const Edtd& d1_in, const Edtd& d2_in,
-                         ThreadPool* pool) {
+StatusOr<DfaXsd> UpperUnion(const Edtd& d1, const Edtd& d2, Budget* budget) {
+  STAP_CHECK(IsSingleType(d1));
+  STAP_CHECK(IsSingleType(d2));
+  return MinimalUpperApproximation(EdtdUnion(d1, d2), budget);
+}
+
+DfaXsd UpperUnion(const Edtd& d1, const Edtd& d2) {
+  StatusOr<DfaXsd> result = UpperUnion(d1, d2, nullptr);
+  return *std::move(result);  // a null budget never exhausts
+}
+
+StatusOr<DfaXsd> UpperIntersection(const Edtd& d1_in, const Edtd& d2_in,
+                                   ThreadPool* pool, Budget* budget) {
   auto [d1, d2] = AlignAlphabets(d1_in, d2_in);
   STAP_CHECK(IsSingleType(d1));
   STAP_CHECK(IsSingleType(d2));
@@ -354,19 +417,21 @@ DfaXsd UpperIntersection(const Edtd& d1_in, const Edtd& d2_in,
   DfaXsd product;
   product.sigma = x1.sigma;
   product.automaton = Dfa(0, num_symbols);
+  Status charge_status;
   auto intern = [&](int q1, int q2) -> int {
     auto [it, inserted] =
         ids.emplace(std::make_pair(q1, q2), product.automaton.num_states());
     if (inserted) {
       product.automaton.AddState();
       worklist.emplace_back(q1, q2);
+      if (charge_status.ok()) charge_status = Budget::ChargeStates(budget);
     }
     return it->second;
   };
   intern(0, 0);
   product.automaton.SetInitial(0);
   size_t processed = 0;
-  while (processed < worklist.size()) {
+  while (processed < worklist.size() && charge_status.ok()) {
     auto [q1, q2] = worklist[processed];
     int id = ids.at({q1, q2});
     ++processed;
@@ -377,18 +442,27 @@ DfaXsd UpperIntersection(const Edtd& d1_in, const Edtd& d2_in,
       product.automaton.SetTransition(id, a, intern(r1, r2));
     }
   }
+  STAP_RETURN_IF_ERROR(charge_status);
   const int total = product.automaton.num_states();
   product.state_label.assign(total, kNoSymbol);
   product.content.assign(total, Dfa::EmptyLanguage(num_symbols));
   // worklist[id] is the pair interned as state id, so the per-state content
   // intersections index it directly and run as one parallel sweep.
+  SharedStatus shared;
   ThreadPool::ParallelFor(pool, total, [&](int id) {
-    if (id == 0) return;
+    if (id == 0 || !shared.ok()) return;
     auto [q1, q2] = worklist[id];
     product.state_label[id] = x1.state_label[q1];
-    product.content[id] = Minimize(DfaIntersection(x1.content[q1],
-                                                   x2.content[q2]));
+    StatusOr<Dfa> content =
+        DfaProduct(x1.content[q1], x2.content[q2], BoolOp::kAnd, budget);
+    if (content.ok()) content = Minimize(*content, budget);
+    if (!content.ok()) {
+      shared.Update(content.status());
+      return;
+    }
+    product.content[id] = *std::move(content);
   });
+  STAP_RETURN_IF_ERROR(shared.ToStatus());
   for (int a : x1.start_symbols) {
     if (StateSetContains(x2.start_symbols, a)) {
       StateSetInsert(product.start_symbols, a);
@@ -398,22 +472,42 @@ DfaXsd UpperIntersection(const Edtd& d1_in, const Edtd& d2_in,
   return MinimizeXsd(product);
 }
 
-DfaXsd UpperComplement(const Edtd& d, ThreadPool* pool) {
-  Edtd reduced = ReduceEdtd(d);
-  STAP_CHECK(IsSingleType(reduced));
-  return MinimalUpperApproximation(
-      ComplementEdtd(DfaXsdFromStEdtd(reduced), pool));
+DfaXsd UpperIntersection(const Edtd& d1, const Edtd& d2, ThreadPool* pool) {
+  StatusOr<DfaXsd> result = UpperIntersection(d1, d2, pool, nullptr);
+  return *std::move(result);  // a null budget never exhausts
 }
 
-DfaXsd UpperDifference(const Edtd& d1_in, const Edtd& d2_in,
-                       ThreadPool* pool) {
+StatusOr<DfaXsd> UpperComplement(const Edtd& d, ThreadPool* pool,
+                                 Budget* budget) {
+  Edtd reduced = ReduceEdtd(d);
+  STAP_CHECK(IsSingleType(reduced));
+  StatusOr<Edtd> complement =
+      ComplementEdtd(DfaXsdFromStEdtd(reduced), pool, budget);
+  if (!complement.ok()) return complement.status();
+  return MinimalUpperApproximation(*complement, budget);
+}
+
+DfaXsd UpperComplement(const Edtd& d, ThreadPool* pool) {
+  StatusOr<DfaXsd> result = UpperComplement(d, pool, nullptr);
+  return *std::move(result);  // a null budget never exhausts
+}
+
+StatusOr<DfaXsd> UpperDifference(const Edtd& d1_in, const Edtd& d2_in,
+                                 ThreadPool* pool, Budget* budget) {
   auto [d1, d2] = AlignAlphabets(d1_in, d2_in);
   Edtd r1 = ReduceEdtd(d1);
   Edtd r2 = ReduceEdtd(d2);
   STAP_CHECK(IsSingleType(r1));
   STAP_CHECK(IsSingleType(r2));
-  return MinimalUpperApproximation(
-      DifferenceEdtd(r1, DfaXsdFromStEdtd(r2), pool));
+  StatusOr<Edtd> difference =
+      DifferenceEdtd(r1, DfaXsdFromStEdtd(r2), pool, budget);
+  if (!difference.ok()) return difference.status();
+  return MinimalUpperApproximation(*difference, budget);
+}
+
+DfaXsd UpperDifference(const Edtd& d1, const Edtd& d2, ThreadPool* pool) {
+  StatusOr<DfaXsd> result = UpperDifference(d1, d2, pool, nullptr);
+  return *std::move(result);  // a null budget never exhausts
 }
 
 }  // namespace stap

@@ -24,6 +24,8 @@
 
 #include <utility>
 
+#include "stap/base/budget.h"
+#include "stap/base/status.h"
 #include "stap/schema/edtd.h"
 #include "stap/schema/single_type.h"
 
@@ -55,6 +57,19 @@ Edtd ComplementEdtd(const DfaXsd& xsd, ThreadPool* pool = nullptr);
 Edtd DifferenceEdtd(const Edtd& d1, const DfaXsd& xsd2,
                     ThreadPool* pool = nullptr);
 
+// Budgeted EDTD constructions. The per-type content builds (products,
+// determinizations, minimizations) all charge `budget`; exhaustion in any
+// parallel-sweep worker propagates as kResourceExhausted. The budgeted
+// overloads take every parameter explicitly (no defaults) so they never
+// collide with the defaulted signatures above; a null budget is
+// unlimited.
+StatusOr<Edtd> EdtdIntersection(const Edtd& a, const Edtd& b,
+                                ThreadPool* pool, Budget* budget);
+StatusOr<Edtd> ComplementEdtd(const DfaXsd& xsd, ThreadPool* pool,
+                              Budget* budget);
+StatusOr<Edtd> DifferenceEdtd(const Edtd& d1, const DfaXsd& xsd2,
+                              ThreadPool* pool, Budget* budget);
+
 // Minimal upper XSD-approximations per the theorems. Inputs must be
 // single-type (checked).
 DfaXsd UpperUnion(const Edtd& d1, const Edtd& d2);
@@ -63,6 +78,15 @@ DfaXsd UpperIntersection(const Edtd& d1, const Edtd& d2,
 DfaXsd UpperComplement(const Edtd& d, ThreadPool* pool = nullptr);
 DfaXsd UpperDifference(const Edtd& d1, const Edtd& d2,
                        ThreadPool* pool = nullptr);
+
+// Budgeted variants of the four theorems.
+StatusOr<DfaXsd> UpperUnion(const Edtd& d1, const Edtd& d2, Budget* budget);
+StatusOr<DfaXsd> UpperIntersection(const Edtd& d1, const Edtd& d2,
+                                   ThreadPool* pool, Budget* budget);
+StatusOr<DfaXsd> UpperComplement(const Edtd& d, ThreadPool* pool,
+                                 Budget* budget);
+StatusOr<DfaXsd> UpperDifference(const Edtd& d1, const Edtd& d2,
+                                 ThreadPool* pool, Budget* budget);
 
 }  // namespace stap
 

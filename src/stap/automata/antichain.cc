@@ -7,6 +7,7 @@
 
 #include "stap/automata/bitset.h"
 #include "stap/base/check.h"
+#include "stap/base/metrics.h"
 
 namespace stap {
 
@@ -46,6 +47,11 @@ namespace {
 // counterexample of length L forces an accepting candidate at some layer
 // ≤ L, and any accepting candidate is exact — the first detection depth
 // equals L, matching the determinize-based BFS oracle.
+//
+// Resource accounting: every kept node charges the budget's state quota,
+// every generated successor set charges the set quota, and each layer
+// boundary samples the deadline, so adversarial instances abort with
+// kResourceExhausted after bounded work.
 struct Node {
   int a_state;
   int parent;
@@ -65,8 +71,20 @@ Word ReconstructWord(const std::vector<Node>& nodes, int parent, int via) {
 
 }  // namespace
 
-std::optional<Word> AntichainInclusionCounterexample(const Nfa& a,
-                                                     const Nfa& b) {
+StatusOr<std::optional<Word>> AntichainInclusionCounterexample(
+    const Nfa& a, const Nfa& b, Budget* budget) {
+  static Counter* const calls = GetCounter("antichain.calls");
+  static Counter* const nodes_kept = GetCounter("antichain.nodes_kept");
+  static Counter* const candidates_generated =
+      GetCounter("antichain.candidates");
+  static Counter* const prunes_layer =
+      GetCounter("antichain.subsumption_prunes_layer");
+  static Counter* const prunes_elder =
+      GetCounter("antichain.subsumption_prunes_elder");
+  static Histogram* const frontier_size =
+      GetHistogram("antichain.layer_width");
+  calls->Increment();
+
   STAP_CHECK(a.num_symbols() == b.num_symbols());
   const int num_symbols = a.num_symbols();
   const DenseNfa dense_b(b);
@@ -91,6 +109,7 @@ std::optional<Word> AntichainInclusionCounterexample(const Nfa& a,
   std::optional<Word> witness;
   auto offer = [&](int a_state, const DenseStateSet& s, int set_id,
                    int parent, int via) {
+    candidates_generated->Increment();
     if (!witness.has_value() && a.IsFinal(a_state) && !dense_b.AnyFinal(s)) {
       witness = ReconstructWord(nodes, parent, via);
       return true;
@@ -102,7 +121,7 @@ std::optional<Word> AntichainInclusionCounterexample(const Nfa& a,
 
   // Folds the pending candidates into the kept frontier (stages 1 and 2)
   // and returns the new layer.
-  auto settle = [&]() {
+  auto settle = [&]() -> Status {
     layer.clear();
     for (int p : cand_states) {
       // Stage 2 first: reduce this layer's candidates for p to the
@@ -118,13 +137,18 @@ std::optional<Word> AntichainInclusionCounterexample(const Nfa& a,
             break;
           }
         }
-        if (dominated) continue;
+        if (dominated) {
+          prunes_layer->Increment();
+          continue;
+        }
+        const size_t before = minimal.size();
         minimal.erase(
             std::remove_if(minimal.begin(), minimal.end(),
                            [&](const Cand& m) {
                              return s.IsSubsetOf(cand_sets[m.set_id]);
                            }),
             minimal.end());
+        prunes_layer->Increment(static_cast<int64_t>(before - minimal.size()));
         minimal.push_back(c);
       }
       // Stage 1: drop survivors covered by kept elders.
@@ -137,31 +161,40 @@ std::optional<Word> AntichainInclusionCounterexample(const Nfa& a,
             break;
           }
         }
-        if (dominated) continue;
+        if (dominated) {
+          prunes_elder->Increment();
+          continue;
+        }
         int id = static_cast<int>(nodes.size());
         kept[p].push_back(id);
         layer.push_back(id);
         nodes.push_back(Node{p, c.parent, c.via_symbol});
         node_sets.push_back(cand_sets[c.set_id]);
+        nodes_kept->Increment();
+        STAP_RETURN_IF_ERROR(Budget::ChargeStates(budget));
       }
       cand[p].clear();
     }
     cand_states.clear();
     cand_sets.clear();
+    frontier_size->Record(static_cast<double>(layer.size()));
+    return Status();
   };
 
   // Depth-0 candidates: every a-initial state against the b-initial set.
   {
     const DenseStateSet& init = dense_b.initial();
     cand_sets.push_back(init);
+    STAP_RETURN_IF_ERROR(Budget::ChargeSets(budget));
     for (int p : a.initial()) {
       if (offer(p, init, 0, -1, kNoSymbol)) return witness;
     }
-    settle();
+    STAP_RETURN_IF_ERROR(settle());
   }
 
   DenseStateSet scratch(b.num_states());
   while (!layer.empty()) {
+    STAP_RETURN_IF_ERROR(Budget::CheckDeadline(budget));
     std::vector<int> current;
     std::swap(current, layer);
     for (int id : current) {
@@ -172,21 +205,38 @@ std::optional<Word> AntichainInclusionCounterexample(const Nfa& a,
         dense_b.NextInto(node_sets[id], sym, &scratch);
         int set_id = static_cast<int>(cand_sets.size());
         cand_sets.push_back(scratch);
+        STAP_RETURN_IF_ERROR(Budget::ChargeSets(budget));
         for (int p_next : succ) {
           if (offer(p_next, scratch, set_id, id, sym)) return witness;
         }
       }
     }
-    settle();
+    STAP_RETURN_IF_ERROR(settle());
   }
-  return std::nullopt;
+  return std::optional<Word>(std::nullopt);
+}
+
+std::optional<Word> AntichainInclusionCounterexample(const Nfa& a,
+                                                     const Nfa& b) {
+  StatusOr<std::optional<Word>> result =
+      AntichainInclusionCounterexample(a, b, nullptr);
+  return *std::move(result);  // a null budget never exhausts
+}
+
+StatusOr<bool> AntichainIncluded(const Nfa& a, const Nfa& b,
+                                 Budget* budget) {
+  StatusOr<std::optional<Word>> witness =
+      AntichainInclusionCounterexample(a, b, budget);
+  if (!witness.ok()) return witness.status();
+  return !witness->has_value();
 }
 
 bool AntichainIncluded(const Nfa& a, const Nfa& b) {
   return !AntichainInclusionCounterexample(a, b).has_value();
 }
 
-std::optional<Word> AntichainUniversalityCounterexample(const Nfa& nfa) {
+StatusOr<std::optional<Word>> AntichainUniversalityCounterexample(
+    const Nfa& nfa, Budget* budget) {
   // Universality is inclusion of Σ* — run the engine against the
   // one-state all-accepting NFA on the left.
   const int num_symbols = nfa.num_symbols();
@@ -196,11 +246,24 @@ std::optional<Word> AntichainUniversalityCounterexample(const Nfa& nfa) {
   for (int sym = 0; sym < num_symbols; ++sym) {
     all.AddTransition(0, sym, 0);
   }
-  return AntichainInclusionCounterexample(all, nfa);
+  return AntichainInclusionCounterexample(all, nfa, budget);
+}
+
+std::optional<Word> AntichainUniversalityCounterexample(const Nfa& nfa) {
+  StatusOr<std::optional<Word>> result =
+      AntichainUniversalityCounterexample(nfa, nullptr);
+  return *std::move(result);
 }
 
 bool AntichainUniversal(const Nfa& nfa) {
   return !AntichainUniversalityCounterexample(nfa).has_value();
+}
+
+StatusOr<bool> AntichainEquivalent(const Nfa& a, const Nfa& b,
+                                   Budget* budget) {
+  StatusOr<bool> forward = AntichainIncluded(a, b, budget);
+  if (!forward.ok() || !*forward) return forward;
+  return AntichainIncluded(b, a, budget);
 }
 
 bool AntichainEquivalent(const Nfa& a, const Nfa& b) {

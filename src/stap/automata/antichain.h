@@ -14,6 +14,13 @@
 // line of work). The search exits on the first counterexample and
 // reconstructs a shortest witness word from parent pointers.
 //
+// The budgeted entry points charge every kept frontier node (states) and
+// every generated successor set (sets) against the Budget, so adversarial
+// instances whose antichains do blow up (the PSPACE-hard content-model
+// cases) return kResourceExhausted instead of running unbounded. The
+// engine reports its work through base/metrics.h: nodes kept, candidates
+// generated, and subsumption prunes per stage.
+//
 // The determinize-based subset-product path (inclusion.h *ViaSubsets
 // functions) is retained as a differential-test oracle; see DESIGN.md.
 #ifndef STAP_AUTOMATA_ANTICHAIN_H_
@@ -22,6 +29,8 @@
 #include <optional>
 
 #include "stap/automata/nfa.h"
+#include "stap/base/budget.h"
+#include "stap/base/status.h"
 
 namespace stap {
 
@@ -29,17 +38,26 @@ namespace stap {
 std::optional<Word> AntichainInclusionCounterexample(const Nfa& a,
                                                      const Nfa& b);
 
+// Budgeted variant; a null budget is unlimited.
+StatusOr<std::optional<Word>> AntichainInclusionCounterexample(
+    const Nfa& a, const Nfa& b, Budget* budget);
+
 // L(a) ⊆ L(b)?
 bool AntichainIncluded(const Nfa& a, const Nfa& b);
+StatusOr<bool> AntichainIncluded(const Nfa& a, const Nfa& b, Budget* budget);
 
 // A shortest word outside L(nfa), or nullopt when L(nfa) = Σ*.
 std::optional<Word> AntichainUniversalityCounterexample(const Nfa& nfa);
+StatusOr<std::optional<Word>> AntichainUniversalityCounterexample(
+    const Nfa& nfa, Budget* budget);
 
 // L(nfa) = Σ*?
 bool AntichainUniversal(const Nfa& nfa);
 
 // L(a) == L(b)?
 bool AntichainEquivalent(const Nfa& a, const Nfa& b);
+StatusOr<bool> AntichainEquivalent(const Nfa& a, const Nfa& b,
+                                   Budget* budget);
 
 }  // namespace stap
 

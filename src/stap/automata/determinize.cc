@@ -3,10 +3,18 @@
 #include <utility>
 
 #include "stap/automata/bitset.h"
+#include "stap/base/metrics.h"
 
 namespace stap {
 
-Dfa Determinize(const Nfa& nfa, std::vector<StateSet>* subsets) {
+StatusOr<Dfa> Determinize(const Nfa& nfa, Budget* budget,
+                          std::vector<StateSet>* subsets) {
+  static Counter* const calls = GetCounter("determinize.calls");
+  static Counter* const states_created =
+      GetCounter("determinize.states_created");
+  static Histogram* const dfa_states = GetHistogram("determinize.dfa_states");
+  calls->Increment();
+
   const int num_symbols = nfa.num_symbols();
   const DenseNfa dense(nfa);
   DenseStateSetInterner interner(nfa.num_states());
@@ -15,6 +23,8 @@ Dfa Determinize(const Nfa& nfa, std::vector<StateSet>* subsets) {
   interner.Intern(dense.initial());
   dfa.AddState();
   dfa.SetInitial(0);
+  states_created->Increment();
+  STAP_RETURN_IF_ERROR(Budget::ChargeStates(budget));
 
   // Subset ids double as the worklist: processing state id may discover
   // new subsets, which are appended and processed in turn. Subsets are
@@ -28,10 +38,15 @@ Dfa Determinize(const Nfa& nfa, std::vector<StateSet>* subsets) {
     for (int a = 0; a < num_symbols; ++a) {
       dense.NextInto(current, a, &scratch);
       auto [next_id, inserted] = interner.Intern(scratch);
-      if (inserted) dfa.AddState();
+      if (inserted) {
+        dfa.AddState();
+        states_created->Increment();
+        STAP_RETURN_IF_ERROR(Budget::ChargeStates(budget));
+      }
       dfa.SetTransition(id, a, next_id);
     }
   }
+  dfa_states->Record(dfa.num_states());
   if (subsets != nullptr) {
     subsets->reserve(subsets->size() + interner.size());
     for (int id = 0; id < interner.size(); ++id) {
@@ -39,6 +54,12 @@ Dfa Determinize(const Nfa& nfa, std::vector<StateSet>* subsets) {
     }
   }
   return dfa;
+}
+
+Dfa Determinize(const Nfa& nfa, std::vector<StateSet>* subsets) {
+  // A null budget can never exhaust, so the result is always OK.
+  StatusOr<Dfa> result = Determinize(nfa, nullptr, subsets);
+  return *std::move(result);
 }
 
 }  // namespace stap

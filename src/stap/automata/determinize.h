@@ -6,6 +6,8 @@
 
 #include "stap/automata/dfa.h"
 #include "stap/automata/nfa.h"
+#include "stap/base/budget.h"
+#include "stap/base/status.h"
 
 namespace stap {
 
@@ -14,6 +16,12 @@ namespace stap {
 // state, the NFA state set it denotes (the empty set is the dead sink,
 // created only when reachable). The DFA is complete by construction.
 Dfa Determinize(const Nfa& nfa, std::vector<StateSet>* subsets = nullptr);
+
+// Budgeted variant: every DFA state created charges the budget, so the
+// exponential families (Theorem 3.2) fail with kResourceExhausted in
+// bounded time instead of exhausting memory. A null budget is unlimited.
+StatusOr<Dfa> Determinize(const Nfa& nfa, Budget* budget,
+                          std::vector<StateSet>* subsets = nullptr);
 
 }  // namespace stap
 

@@ -91,8 +91,17 @@ bool NfaIncludedInDfa(const Nfa& nfa, const Dfa& dfa) {
   return AntichainIncluded(nfa, dfa.ToNfa());
 }
 
+StatusOr<bool> NfaIncludedInDfa(const Nfa& nfa, const Dfa& dfa,
+                                Budget* budget) {
+  return AntichainIncluded(nfa, dfa.ToNfa(), budget);
+}
+
 bool NfaIncludedInNfa(const Nfa& a, const Nfa& b) {
   return AntichainIncluded(a, b);
+}
+
+StatusOr<bool> NfaIncludedInNfa(const Nfa& a, const Nfa& b, Budget* budget) {
+  return AntichainIncluded(a, b, budget);
 }
 
 bool DfaEquivalent(const Dfa& a, const Dfa& b) {

@@ -12,6 +12,8 @@
 
 #include "stap/automata/dfa.h"
 #include "stap/automata/nfa.h"
+#include "stap/base/budget.h"
+#include "stap/base/status.h"
 
 namespace stap {
 
@@ -22,10 +24,17 @@ bool DfaIncludedIn(const Dfa& a, const Dfa& b);
 // This is the engine behind the paper's Lemma 3.3.
 bool NfaIncludedInDfa(const Nfa& nfa, const Dfa& dfa);
 
+// Budgeted variant; a null budget is unlimited.
+StatusOr<bool> NfaIncludedInDfa(const Nfa& nfa, const Dfa& dfa,
+                                Budget* budget);
+
 // L(a) ⊆ L(b)? Antichain frontier search; worst-case exponential in |b|
 // (the PSPACE-hard case of Section 5's NFA content models) but explores
 // only ⊆-minimal b-sets, with early exit on the first counterexample.
 bool NfaIncludedInNfa(const Nfa& a, const Nfa& b);
+
+// Budgeted variant; a null budget is unlimited.
+StatusOr<bool> NfaIncludedInNfa(const Nfa& a, const Nfa& b, Budget* budget);
 
 // L(a) == L(b)?
 bool DfaEquivalent(const Dfa& a, const Dfa& b);

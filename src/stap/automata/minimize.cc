@@ -9,6 +9,7 @@
 #include "stap/automata/determinize.h"
 #include "stap/automata/state_set_hash.h"
 #include "stap/base/check.h"
+#include "stap/base/metrics.h"
 
 namespace stap {
 
@@ -111,7 +112,11 @@ Dfa CanonicalizeNumbering(const Dfa& dfa) {
 
 }  // namespace
 
-Dfa Minimize(const Dfa& input) {
+StatusOr<Dfa> Minimize(const Dfa& input, Budget* budget) {
+  static Counter* const calls = GetCounter("minimize.calls");
+  static Counter* const rounds = GetCounter("minimize.rounds");
+  calls->Increment();
+
   Dfa dfa = input.Trimmed().Completed();
   const int n = dfa.num_states();
   const int num_symbols = dfa.num_symbols();
@@ -127,6 +132,10 @@ Dfa Minimize(const Dfa& input) {
   std::vector<int> signature(static_cast<size_t>(num_symbols) + 1);
   std::vector<int> next_classes(n);
   while (true) {
+    // Minimization never grows the state count, so only the wall clock
+    // can exhaust the budget; one check per refinement round suffices.
+    rounds->Increment();
+    STAP_RETURN_IF_ERROR(Budget::CheckDeadline(budget));
     SignatureInterner signature_ids(signature.size(), n);
     for (int q = 0; q < n; ++q) {
       signature[0] = classes[q];
@@ -154,6 +163,17 @@ Dfa Minimize(const Dfa& input) {
   Dfa trimmed = quotient.Trimmed();
   if (trimmed.IsEmpty()) return Dfa::EmptyLanguage(num_symbols);
   return CanonicalizeNumbering(trimmed);
+}
+
+Dfa Minimize(const Dfa& input) {
+  StatusOr<Dfa> result = Minimize(input, nullptr);
+  return *std::move(result);
+}
+
+StatusOr<Dfa> MinimizeNfa(const Nfa& nfa, Budget* budget) {
+  StatusOr<Dfa> determinized = Determinize(nfa, budget);
+  if (!determinized.ok()) return determinized.status();
+  return Minimize(*determinized, budget);
 }
 
 Dfa MinimizeNfa(const Nfa& nfa) { return Minimize(Determinize(nfa)); }

@@ -4,6 +4,8 @@
 
 #include "stap/automata/dfa.h"
 #include "stap/automata/nfa.h"
+#include "stap/base/budget.h"
+#include "stap/base/status.h"
 
 namespace stap {
 
@@ -13,8 +15,17 @@ namespace stap {
 // language iff Minimize() of both compares operator==.
 Dfa Minimize(const Dfa& dfa);
 
+// Budgeted variant: the refinement rounds check the wall-clock deadline
+// (minimization never grows the state count, so only time can exhaust).
+// A null budget is unlimited.
+StatusOr<Dfa> Minimize(const Dfa& dfa, Budget* budget);
+
 // Determinizes and minimizes.
 Dfa MinimizeNfa(const Nfa& nfa);
+
+// Budgeted variant: the subset construction charges states, the
+// refinement checks the deadline.
+StatusOr<Dfa> MinimizeNfa(const Nfa& nfa, Budget* budget);
 
 }  // namespace stap
 

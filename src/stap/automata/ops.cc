@@ -6,10 +6,17 @@
 
 #include "stap/automata/state_set_hash.h"
 #include "stap/base/check.h"
+#include "stap/base/metrics.h"
 
 namespace stap {
 
-Dfa DfaProduct(const Dfa& a_in, const Dfa& b_in, BoolOp op) {
+StatusOr<Dfa> DfaProduct(const Dfa& a_in, const Dfa& b_in, BoolOp op,
+                         Budget* budget) {
+  static Counter* const calls = GetCounter("ops.product_calls");
+  static Counter* const states_created =
+      GetCounter("ops.product_states_created");
+  calls->Increment();
+
   STAP_CHECK(a_in.num_symbols() == b_in.num_symbols());
   const Dfa a = a_in.Completed();
   const Dfa b = b_in.Completed();
@@ -30,25 +37,36 @@ Dfa DfaProduct(const Dfa& a_in, const Dfa& b_in, BoolOp op) {
   std::unordered_map<uint64_t, int, U64Hash> ids;
   std::vector<std::pair<int, int>> worklist;  // id -> (qa, qb)
   Dfa product(0, num_symbols);
+  // Budget exhaustion inside intern() latches here and unwinds the
+  // exploration loop at the next iteration boundary.
+  Status charge_status;
   auto intern = [&](int qa, int qb) -> int {
     auto [it, inserted] = ids.emplace(PackPair(qa, qb), product.num_states());
     if (inserted) {
       product.AddState();
       product.SetFinal(it->second, combine(a.IsFinal(qa), b.IsFinal(qb)));
       worklist.emplace_back(qa, qb);
+      states_created->Increment();
+      if (charge_status.ok()) charge_status = Budget::ChargeStates(budget);
     }
     return it->second;
   };
 
   product.SetInitial(intern(a.initial(), b.initial()));
-  for (size_t id = 0; id < worklist.size(); ++id) {
+  for (size_t id = 0; id < worklist.size() && charge_status.ok(); ++id) {
     auto [qa, qb] = worklist[id];
     for (int sym = 0; sym < num_symbols; ++sym) {
       product.SetTransition(static_cast<int>(id), sym,
                             intern(a.Next(qa, sym), b.Next(qb, sym)));
     }
   }
+  STAP_RETURN_IF_ERROR(charge_status);
   return product.Trimmed();
+}
+
+Dfa DfaProduct(const Dfa& a, const Dfa& b, BoolOp op) {
+  StatusOr<Dfa> result = DfaProduct(a, b, op, nullptr);
+  return *std::move(result);  // a null budget never exhausts
 }
 
 Dfa DfaIntersection(const Dfa& a, const Dfa& b) {

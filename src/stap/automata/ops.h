@@ -6,6 +6,8 @@
 
 #include "stap/automata/dfa.h"
 #include "stap/automata/nfa.h"
+#include "stap/base/budget.h"
+#include "stap/base/status.h"
 
 namespace stap {
 
@@ -13,6 +15,12 @@ namespace stap {
 // accepts L(a) op L(b).
 enum class BoolOp { kAnd, kOr, kDiff };
 Dfa DfaProduct(const Dfa& a, const Dfa& b, BoolOp op);
+
+// Budgeted variant: every reachable product pair charges the state quota,
+// so quadratic blowups abort with kResourceExhausted. A null budget is
+// unlimited.
+StatusOr<Dfa> DfaProduct(const Dfa& a, const Dfa& b, BoolOp op,
+                         Budget* budget);
 
 Dfa DfaIntersection(const Dfa& a, const Dfa& b);
 Dfa DfaUnion(const Dfa& a, const Dfa& b);

@@ -1,0 +1,163 @@
+#include "stap/base/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace stap {
+
+namespace {
+
+// Instrument names are programmer-chosen identifiers (dots, dashes,
+// alphanumerics), but escape the JSON-significant characters anyway so a
+// stray name can never produce unparseable output.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// JSON has no NaN/Inf literals; clamp to 0 (never produced by the
+// instruments, but dumps must always parse).
+void AppendNumber(std::ostringstream* os, double value) {
+  if (!std::isfinite(value)) value = 0;
+  *os << value;
+}
+
+}  // namespace
+
+int Histogram::BucketFor(double value) {
+  if (!(value >= 1)) return 0;  // also catches NaN
+  const int exponent = std::ilogb(value) + 1;
+  return std::min(exponent, kNumBuckets - 1);
+}
+
+void Histogram::Record(double value) {
+  if (std::isnan(value)) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (data_.count == 0) {
+    data_.min = value;
+    data_.max = value;
+  } else {
+    data_.min = std::min(data_.min, value);
+    data_.max = std::max(data_.max, value);
+  }
+  ++data_.count;
+  data_.sum += value;
+  ++data_.buckets[BucketFor(value)];
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return data_;
+}
+
+void Histogram::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  data_ = Snapshot{};
+}
+
+MetricsRegistry* MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os.precision(17);
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    os << (first ? "\n" : ",\n") << "    \"" << JsonEscape(name)
+       << "\": " << counter->value();
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    const Histogram::Snapshot snap = histogram->snapshot();
+    os << (first ? "\n" : ",\n") << "    \"" << JsonEscape(name)
+       << "\": {\"count\": " << snap.count << ", \"sum\": ";
+    AppendNumber(&os, snap.sum);
+    os << ", \"min\": ";
+    AppendNumber(&os, snap.min);
+    os << ", \"max\": ";
+    AppendNumber(&os, snap.max);
+    os << ", \"buckets\": [";
+    // Trailing all-zero buckets are elided to keep dumps small; bucket
+    // indexes are implicit, so parsers index from 0.
+    int last = Histogram::kNumBuckets - 1;
+    while (last > 0 && snap.buckets[last] == 0) --last;
+    for (int i = 0; i <= last; ++i) {
+      if (i > 0) os << ", ";
+      os << snap.buckets[i];
+    }
+    os << "]}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
+  return os.str();
+}
+
+Counter* GetCounter(std::string_view name) {
+  return MetricsRegistry::Global()->GetCounter(name);
+}
+
+Histogram* GetHistogram(std::string_view name) {
+  return MetricsRegistry::Global()->GetHistogram(name);
+}
+
+}  // namespace stap

@@ -1,0 +1,134 @@
+// Process-wide metrics: named counters and histograms with a JSON dump.
+//
+// The approximation pipeline's cost model lives in a handful of numbers —
+// subset-construction states created, antichain frontier sizes and
+// subsumption prunes, pool task counts, per-phase wall time. This module
+// makes those observable in production builds: a thread-safe registry of
+// named instruments, cheap enough to leave on (counters are one relaxed
+// atomic add; hot paths cache the instrument pointer in a function-local
+// static), dumped as JSON for dashboards and the CI smoke jobs.
+//
+// Instrument pointers returned by the registry are stable for the process
+// lifetime: Reset() zeroes values but never invalidates pointers, so
+// cached lookups stay valid across runs.
+//
+//   Counter* states = GetCounter("determinize.states_created");
+//   states->Increment(n);
+//   {
+//     ScopedTimer timer(GetHistogram("approx.upper_ms"));
+//     ...  // records elapsed milliseconds on scope exit
+//   }
+//   std::string json = MetricsRegistry::Global()->ToJson();
+#ifndef STAP_BASE_METRICS_H_
+#define STAP_BASE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace stap {
+
+// A monotonically increasing (between resets) 64-bit counter.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// A histogram of non-negative samples (latencies in ms, sizes in states)
+// with power-of-two buckets: bucket 0 holds samples < 1, bucket i >= 1
+// holds samples in [2^(i-1), 2^i). Tracks count / sum / min / max exactly.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 40;
+
+  struct Snapshot {
+    int64_t count = 0;
+    double sum = 0;
+    double min = 0;  // meaningful only when count > 0
+    double max = 0;
+    std::array<int64_t, kNumBuckets> buckets{};
+  };
+
+  void Record(double value);
+
+  Snapshot snapshot() const;
+
+  void Reset();
+
+ private:
+  static int BucketFor(double value);
+
+  mutable std::mutex mutex_;
+  Snapshot data_;
+};
+
+// The process-wide registry. Instruments are created on first lookup and
+// live forever; lookups are mutex-guarded, so hot loops should cache the
+// returned pointer (function-local static) rather than re-resolve names.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry* Global();
+
+  Counter* GetCounter(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  // Zeroes every instrument (pointers stay valid).
+  void Reset();
+
+  // {"counters": {name: value, ...},
+  //  "histograms": {name: {count, sum, min, max, buckets}, ...}}
+  // Names are sorted, so output is deterministic for a given state.
+  std::string ToJson() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+// Convenience lookups on the global registry.
+Counter* GetCounter(std::string_view name);
+Histogram* GetHistogram(std::string_view name);
+
+// Records elapsed wall time in fractional milliseconds into a histogram
+// on destruction. A null histogram disables the timer.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram)
+      : histogram_(histogram), start_(Clock::now()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  ~ScopedTimer() {
+    if (histogram_ != nullptr) histogram_->Record(ElapsedMs());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Histogram* histogram_;
+  Clock::time_point start_;
+};
+
+}  // namespace stap
+
+#endif  // STAP_BASE_METRICS_H_

@@ -15,12 +15,15 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <cstdlib>
 #include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "stap/base/metrics.h"
 
 namespace stap {
 
@@ -49,8 +52,19 @@ class ThreadPool {
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
-  // A sensible worker count for CPU-bound sweeps on this machine.
+  // A sensible worker count for CPU-bound sweeps on this machine. The
+  // STAP_THREADS environment variable overrides the hardware count —
+  // CI runners and benchmark jobs pin it for reproducible parallelism
+  // (STAP_THREADS=0 forces every sweep serial). Unparseable or negative
+  // values are ignored.
   static int DefaultThreads() {
+    if (const char* env = std::getenv("STAP_THREADS")) {
+      char* end = nullptr;
+      long parsed = std::strtol(env, &end, 10);
+      if (end != env && *end == '\0' && parsed >= 0 && parsed <= 1024) {
+        return static_cast<int>(parsed);
+      }
+    }
     unsigned hw = std::thread::hardware_concurrency();
     return hw == 0 ? 1 : static_cast<int>(hw);
   }
@@ -74,6 +88,7 @@ class ThreadPool {
   // indexes itself and never blocks on unstarted queue entries.
   void ParallelFor(int n, const std::function<void(int)>& fn) {
     if (n <= 0) return;
+    CountSweep(n);
     const int helpers =
         std::min(static_cast<int>(workers_.size()), n - 1);
     if (helpers == 0) {
@@ -98,6 +113,7 @@ class ThreadPool {
   static void ParallelFor(ThreadPool* pool, int n,
                           const std::function<void(int)>& fn) {
     if (pool == nullptr) {
+      if (n > 0) CountSweep(n);
       for (int i = 0; i < n; ++i) fn(i);
     } else {
       pool->ParallelFor(n, fn);
@@ -105,6 +121,14 @@ class ThreadPool {
   }
 
  private:
+  // Sweep accounting for the metrics dump: how many ParallelFor ranges
+  // ran (pooled or serial) and how many per-index tasks they covered.
+  static void CountSweep(int n) {
+    static Counter* const sweeps = GetCounter("pool.parallel_for_calls");
+    static Counter* const tasks = GetCounter("pool.tasks_run");
+    sweeps->Increment();
+    tasks->Increment(n);
+  }
   struct ForState {
     std::atomic<int> next{0};
     int n = 0;

@@ -1,5 +1,7 @@
 #include "stap/schema/streaming.h"
 
+#include <cstdint>
+
 #include "stap/base/check.h"
 
 namespace stap {
@@ -11,7 +13,13 @@ StreamingValidator::StreamingValidator(const DfaXsd* xsd) : xsd_(xsd) {
 
 bool StreamingValidator::StartElement(int symbol) {
   if (!ok_) return false;
-  if (symbol < 0 || symbol >= xsd_->sigma.size()) {
+  // Reject-before-negativity matters: a negative symbol promoted into an
+  // unsigned comparison would wrap to a huge value and could never be
+  // caught below, so test the sign first and compare magnitudes in an
+  // unsigned domain that is correct whatever integer type size() returns.
+  if (symbol < 0 ||
+      static_cast<uint64_t>(symbol) >=
+          static_cast<uint64_t>(xsd_->sigma.size())) {
     ok_ = false;
     return false;
   }

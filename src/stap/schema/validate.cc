@@ -1,6 +1,7 @@
 #include "stap/schema/validate.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <sstream>
 
 namespace stap {
@@ -20,7 +21,11 @@ std::string FormatWord(const Word& word, const Alphabet& alphabet) {
     os << alphabet.Name(word[i]);
   }
   if (word.size() > shown) {
-    os << " ... (+" << word.size() - shown << " more)";
+    // State the full length explicitly: a bare ellipsis is too easy to
+    // overlook, and a truncated witness that reads as complete sends
+    // people debugging the wrong child string.
+    os << " ... (+" << word.size() - shown << " more; " << word.size()
+       << " symbols total)";
   }
   os << "]";
   return os.str();
@@ -30,7 +35,11 @@ std::string FormatWord(const Word& word, const Alphabet& alphabet) {
 
 ValidationResult ValidateWithDiagnostics(const DfaXsd& xsd, const Tree& tree) {
   ValidationResult result;
-  if (tree.label < 0 || tree.label >= xsd.sigma.size() ||
+  // Sign first, then magnitudes in an unsigned domain (correct whatever
+  // integer type size() returns; see streaming.cc for the rationale).
+  if (tree.label < 0 ||
+      static_cast<uint64_t>(tree.label) >=
+          static_cast<uint64_t>(xsd.sigma.size()) ||
       !StateSetContains(xsd.start_symbols, tree.label)) {
     result.ok = false;
     result.message = "root element is not an allowed start symbol";

@@ -151,7 +151,8 @@ TEST(ValidateTest, TruncatesLongChildStringsInDiagnostics) {
   ValidationResult result = ValidateWithDiagnostics(xsd, wide);
   ASSERT_FALSE(result.ok);
   EXPECT_EQ(result.violation_path, TreePath{0});
-  EXPECT_NE(result.message.find("... (+8 more)"), std::string::npos)
+  EXPECT_NE(result.message.find("... (+8 more; 40 symbols total)"),
+            std::string::npos)
       << result.message;
 }
 

@@ -18,17 +18,35 @@
 //   stap count <schema> <depth> <width>  count documents within bounds
 //   stap export <schema> [--repair-upa]  write a W3C-style .xsd document
 //   stap import <schema.xsd>             read a W3C-style .xsd document
+//   stap family <name> <n>               generate a paper lower-bound family
+//
+// Global flags (accepted anywhere on the command line):
+//   --budget-ms=N        wall-clock deadline for the command's kernels
+//   --max-states=N       cap on created automaton/product states
+//   --max-sets=N         cap on frontier/subset sets
+//   --metrics-json[=F]   dump the metrics registry as JSON to file F
+//                        (bare flag or F=- writes to stderr)
+//
+// A command stopped by the budget exits with code 3 (kResourceExhausted)
+// after printing the exhaustion reason; the metrics dump still runs, so
+// the partial work is observable.
 //
 // Schemas use the textual format of schema/text_format.h (docs/FORMAT.md)
 // unless stated otherwise; results are printed in the same format.
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <random>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "stap/approx/inclusion.h"
+#include "stap/base/budget.h"
+#include "stap/base/metrics.h"
+#include "stap/gen/families.h"
 #include "stap/approx/lower_check.h"
 #include "stap/approx/nv.h"
 #include "stap/approx/upper.h"
@@ -70,7 +88,13 @@ int Usage() {
          "  sample <schema> [count]       sample random documents\n"
          "  count <schema> <depth> <w>    count documents within bounds\n"
          "  export <schema> [--repair-upa]  write a W3C-style .xsd\n"
-         "  import <schema.xsd>           read a W3C-style .xsd\n";
+         "  import <schema.xsd>           read a W3C-style .xsd\n"
+         "  family <name> <n>             generate a lower-bound family\n"
+         "                                (theorem32, theorem36a/b,\n"
+         "                                theorem38a/b, theorem43a/b,\n"
+         "                                theorem411; 43/411 ignore n)\n"
+         "global flags: --budget-ms=N --max-states=N --max-sets=N\n"
+         "              --metrics-json[=file]   (exit 3 = budget exhausted)\n";
   return 2;
 }
 
@@ -90,7 +114,78 @@ StatusOr<Edtd> LoadSchema(const std::string& path) {
 
 int Fail(const Status& status) {
   std::cerr << "error: " << status << "\n";
-  return 1;
+  // Budget exhaustion is an expected, recoverable outcome (retry with a
+  // larger budget); give it a distinct exit code scripts can branch on.
+  return status.code() == StatusCode::kResourceExhausted ? 3 : 1;
+}
+
+// Global flags shared by every command.
+struct GlobalOptions {
+  std::unique_ptr<Budget> budget;  // null = unlimited
+  bool dump_metrics = false;
+  std::string metrics_path;  // empty or "-" = stderr
+
+  Budget* budget_ptr() const { return budget.get(); }
+};
+
+// Extracts the global --budget-ms/--max-states/--max-sets/--metrics-json
+// flags from anywhere on the command line; everything else passes through
+// in order. Returns false on a malformed flag value.
+bool ParseGlobalFlags(int argc, char** argv, std::vector<std::string>* args,
+                      GlobalOptions* options) {
+  auto budget = [&]() -> Budget* {
+    if (options->budget == nullptr) options->budget = std::make_unique<Budget>();
+    return options->budget.get();
+  };
+  auto int_value = [](const std::string& text, int64_t* out) {
+    char* end = nullptr;
+    long long parsed = std::strtoll(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0' || parsed < 0) return false;
+    *out = parsed;
+    return true;
+  };
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    int64_t value = 0;
+    if (arg.rfind("--budget-ms=", 0) == 0) {
+      if (!int_value(arg.substr(12), &value)) return false;
+      budget()->set_deadline_ms(value);
+    } else if (arg.rfind("--max-states=", 0) == 0) {
+      if (!int_value(arg.substr(13), &value)) return false;
+      budget()->set_max_states(value);
+    } else if (arg.rfind("--max-sets=", 0) == 0) {
+      if (!int_value(arg.substr(11), &value)) return false;
+      budget()->set_max_sets(value);
+    } else if (arg == "--metrics-json") {
+      options->dump_metrics = true;
+    } else if (arg.rfind("--metrics-json=", 0) == 0) {
+      options->dump_metrics = true;
+      options->metrics_path = arg.substr(15);
+    } else {
+      args->push_back(std::move(arg));
+    }
+  }
+  return true;
+}
+
+// Writes the metrics registry to the configured sink. Runs after the
+// command body whatever its outcome, so budget-exhausted runs still
+// report how far they got.
+int DumpMetrics(const GlobalOptions& options, int exit_code) {
+  if (!options.dump_metrics) return exit_code;
+  const std::string json = MetricsRegistry::Global()->ToJson();
+  if (options.metrics_path.empty() || options.metrics_path == "-") {
+    std::cerr << json << "\n";
+    return exit_code;
+  }
+  std::ofstream out(options.metrics_path);
+  if (!out) {
+    std::cerr << "error: cannot write metrics to '" << options.metrics_path
+              << "'\n";
+    return exit_code == 0 ? 1 : exit_code;
+  }
+  out << json << "\n";
+  return exit_code;
 }
 
 int CmdValidate(const std::string& schema_path, const std::string& doc_path) {
@@ -172,7 +267,8 @@ int CmdSample(const std::string& schema_path, int count) {
   return 0;
 }
 
-int Run(int argc, char** argv) {
+int RunCommand(const std::vector<std::string>& argv, Budget* budget) {
+  const int argc = static_cast<int>(argv.size());
   if (argc < 2) return Usage();
   std::string command = argv[1];
 
@@ -199,7 +295,9 @@ int Run(int argc, char** argv) {
   if (command == "approx" && argc == 3) {
     StatusOr<Edtd> schema = LoadSchema(argv[2]);
     if (!schema.ok()) return Fail(schema.status());
-    return PrintXsd(MinimalUpperApproximation(*schema));
+    StatusOr<DfaXsd> xsd = MinimalUpperApproximation(*schema, budget);
+    if (!xsd.ok()) return Fail(xsd.status());
+    return PrintXsd(*xsd);
   }
   if ((command == "merge" || command == "intersect" || command == "diff" ||
        command == "lower" || command == "included") &&
@@ -216,17 +314,30 @@ int Run(int argc, char** argv) {
         return Fail(InvalidArgumentError(
             "the second schema must be single-type for the PTIME test"));
       }
-      bool included = IncludedInSingleType(r1, r2);
-      std::cout << (included ? "INCLUDED\n" : "NOT INCLUDED\n");
-      return included ? 0 : 1;
+      StatusOr<bool> included = IncludedInSingleType(r1, r2, nullptr, budget);
+      if (!included.ok()) return Fail(included.status());
+      std::cout << (*included ? "INCLUDED\n" : "NOT INCLUDED\n");
+      return *included ? 0 : 1;
     }
     if (!IsSingleType(r1) || !IsSingleType(r2)) {
       return Fail(InvalidArgumentError(
           "both schemas must be single-type; run 'approx' on each first"));
     }
-    if (command == "merge") return PrintXsd(UpperUnion(r1, r2));
-    if (command == "intersect") return PrintXsd(UpperIntersection(r1, r2));
-    if (command == "diff") return PrintXsd(UpperDifference(r1, r2));
+    if (command == "merge") {
+      StatusOr<DfaXsd> result = UpperUnion(r1, r2, budget);
+      if (!result.ok()) return Fail(result.status());
+      return PrintXsd(*result);
+    }
+    if (command == "intersect") {
+      StatusOr<DfaXsd> result = UpperIntersection(r1, r2, nullptr, budget);
+      if (!result.ok()) return Fail(result.status());
+      return PrintXsd(*result);
+    }
+    if (command == "diff") {
+      StatusOr<DfaXsd> result = UpperDifference(r1, r2, nullptr, budget);
+      if (!result.ok()) return Fail(result.status());
+      return PrintXsd(*result);
+    }
     return PrintXsd(LowerUnionFixingFirst(r1, r2));
   }
   if (command == "complement" && argc == 3) {
@@ -237,10 +348,12 @@ int Run(int argc, char** argv) {
       return Fail(InvalidArgumentError(
           "schema must be single-type; run 'approx' first"));
     }
-    return PrintXsd(UpperComplement(reduced));
+    StatusOr<DfaXsd> result = UpperComplement(reduced, nullptr, budget);
+    if (!result.ok()) return Fail(result.status());
+    return PrintXsd(*result);
   }
   if (command == "sample" && (argc == 3 || argc == 4)) {
-    int count = argc == 4 ? std::atoi(argv[3]) : 1;
+    int count = argc == 4 ? std::atoi(argv[3].c_str()) : 1;
     return CmdSample(argv[2], count);
   }
   if (command == "witness" && argc == 4) {
@@ -315,7 +428,8 @@ int Run(int argc, char** argv) {
           "counting requires a single-type schema; run 'approx' first"));
     }
     double count = CountDocuments(DfaXsdFromStEdtd(reduced),
-                                  std::atoi(argv[3]), std::atoi(argv[4]));
+                                  std::atoi(argv[3].c_str()),
+                                  std::atoi(argv[4].c_str()));
     std::cout << count << "\n";
     return 0;
   }
@@ -343,7 +457,47 @@ int Run(int argc, char** argv) {
     std::cout << SchemaToText(ReduceEdtd(*schema));
     return 0;
   }
+  if (command == "family" && (argc == 3 || argc == 4)) {
+    const std::string& name = argv[2];
+    const int n = argc == 4 ? std::atoi(argv[3].c_str()) : 1;
+    if (n < 1) {
+      return Fail(InvalidArgumentError("family size must be >= 1"));
+    }
+    // The pair-valued families expose each member under an a/b suffix so
+    // the result is always a single schema on stdout.
+    Edtd schema;
+    if (name == "theorem32") {
+      schema = Theorem32Family(n);
+    } else if (name == "theorem36a") {
+      schema = Theorem36Family(n).first;
+    } else if (name == "theorem36b") {
+      schema = Theorem36Family(n).second;
+    } else if (name == "theorem38a") {
+      schema = Theorem38Family(n).first;
+    } else if (name == "theorem38b") {
+      schema = Theorem38Family(n).second;
+    } else if (name == "theorem43a") {
+      schema = Theorem43Schemas().first;
+    } else if (name == "theorem43b") {
+      schema = Theorem43Schemas().second;
+    } else if (name == "theorem411") {
+      schema = Theorem411Dtd();
+    } else {
+      return Fail(InvalidArgumentError("unknown family '" + name + "'"));
+    }
+    std::cout << SchemaToText(schema);
+    return 0;
+  }
   return Usage();
+}
+
+int Run(int argc, char** argv) {
+  GlobalOptions options;
+  std::vector<std::string> args;
+  args.push_back(argc > 0 ? argv[0] : "stap");
+  if (!ParseGlobalFlags(argc, argv, &args, &options)) return Usage();
+  const int code = RunCommand(args, options.budget_ptr());
+  return DumpMetrics(options, code);
 }
 
 }  // namespace
