@@ -11,6 +11,11 @@
 //   --metrics-json[=F]                          dump the metrics registry
 //                                               after the run (F=- or bare
 //                                               flag writes to stderr)
+//   --trace-json[=F]                            record a Chrome trace-event
+//                                               session around the whole run
+//                                               (F=- or bare flag → stderr);
+//                                               used by EXPERIMENTS.md E18
+//                                               to measure tracing overhead
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -36,6 +41,7 @@
 #include "stap/base/budget.h"
 #include "stap/base/metrics.h"
 #include "stap/base/thread_pool.h"
+#include "stap/base/trace.h"
 #include "stap/gen/random.h"
 #include "stap/regex/ast.h"
 #include "stap/regex/glushkov.h"
@@ -396,7 +402,8 @@ BENCHMARK(BM_EdtdInclusionSweep)->Arg(0)->Arg(1)->Arg(2)->Arg(4);
 // before benchmark::Initialize sees them, filling g_budget_config and the
 // metrics sink. Returns false on a malformed integer value.
 bool StripResourceFlags(int* argc, char** argv, bool* dump_metrics,
-                        std::string* metrics_path) {
+                        std::string* metrics_path, bool* trace,
+                        std::string* trace_path) {
   auto int_value = [](const char* text, int64_t* out) {
     char* end = nullptr;
     long long parsed = std::strtoll(text, &end, 10);
@@ -419,6 +426,11 @@ bool StripResourceFlags(int* argc, char** argv, bool* dump_metrics,
     } else if (arg.rfind("--metrics-json=", 0) == 0) {
       *dump_metrics = true;
       *metrics_path = arg.substr(15);
+    } else if (arg == "--trace-json") {
+      *trace = true;
+    } else if (arg.rfind("--trace-json=", 0) == 0) {
+      *trace = true;
+      *trace_path = arg.substr(13);
     } else {
       argv[kept++] = argv[i];
     }
@@ -433,13 +445,34 @@ bool StripResourceFlags(int* argc, char** argv, bool* dump_metrics,
 int main(int argc, char** argv) {
   bool dump_metrics = false;
   std::string metrics_path;
-  if (!stap::StripResourceFlags(&argc, argv, &dump_metrics, &metrics_path)) {
+  bool trace = false;
+  std::string trace_path;
+  if (!stap::StripResourceFlags(&argc, argv, &dump_metrics, &metrics_path,
+                                &trace, &trace_path)) {
     std::cerr << "error: malformed resource flag value\n";
     return 1;
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // The session (when requested) wraps the whole benchmark run; E18
+  // compares timings with and without it to bound the active-tracing tax.
+  stap::TraceSession session;
+  if (trace) session.Start();
   benchmark::RunSpecifiedBenchmarks();
+  if (trace) {
+    session.Stop();
+    const std::string json = session.ToChromeJson();
+    if (trace_path.empty() || trace_path == "-") {
+      std::cerr << json << "\n";
+    } else {
+      std::ofstream out(trace_path);
+      if (!out) {
+        std::cerr << "error: cannot write trace to '" << trace_path << "'\n";
+        return 1;
+      }
+      out << json << "\n";
+    }
+  }
   benchmark::Shutdown();
   if (dump_metrics) {
     const std::string json = stap::MetricsRegistry::Global()->ToJson();

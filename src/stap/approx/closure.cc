@@ -7,6 +7,7 @@
 #include "stap/automata/state_set_hash.h"
 #include "stap/base/check.h"
 #include "stap/base/metrics.h"
+#include "stap/base/trace.h"
 
 namespace stap {
 
@@ -29,6 +30,19 @@ class ClosureEngine {
       : guard_(guard), options_(options) {}
 
   ClosureResult Run(const std::vector<Tree>& seeds) {
+    // The span wraps RunImpl so every early-return path (stop match, cap,
+    // budget) still reports final member/exchange tallies.
+    ScopedSpan span("closure.run");
+    ClosureResult result = RunImpl(seeds);
+    span.AddArg("seeds", result.seed_count);
+    span.AddArg("members", result.trees.size());
+    span.AddArg("exchanges", exchanges_tried_);
+    span.AddArg("saturated", static_cast<int64_t>(result.saturated));
+    return result;
+  }
+
+ private:
+  ClosureResult RunImpl(const std::vector<Tree>& seeds) {
     static Counter* const calls = GetCounter("closure.calls");
     static Counter* const members = GetCounter("closure.members_added");
     static Counter* const exchanges = GetCounter("closure.exchanges_tried");
@@ -49,6 +63,12 @@ class ClosureEngine {
          current < result_.trees.size() &&
          static_cast<int>(result_.trees.size()) < options_.max_trees;
          ++current) {
+      // One span per fixpoint iteration: how many members the closure held
+      // going in and how many this member's exchanges added.
+      ScopedSpan iter_span("closure.iteration");
+      iter_span.AddArg("member", static_cast<int64_t>(current));
+      const size_t members_before = result_.trees.size();
+      iter_span.AddArg("members_before", members_before);
       if (result_.status.ok()) {
         result_.status = Budget::CheckDeadline(options_.budget);
       }
@@ -76,6 +96,7 @@ class ClosureEngine {
           }
         }
       }
+      iter_span.AddArg("added", result_.trees.size() - members_before);
     }
     if (static_cast<int>(result_.trees.size()) >= options_.max_trees) {
       result_.saturated = false;
@@ -132,6 +153,7 @@ class ClosureEngine {
                    const TreePath& donor_path) {
     if (base == donor && base_path == donor_path) return;
     exchanges_->Increment();
+    ++exchanges_tried_;
     const Tree& base_tree = result_.trees[base];
     const Tree& donor_tree = result_.trees[donor];
     Tree exchanged =
@@ -145,6 +167,7 @@ class ClosureEngine {
   ClosureResult result_;
   Counter* members_ = nullptr;    // cached registry pointers, set in Run
   Counter* exchanges_ = nullptr;
+  int64_t exchanges_tried_ = 0;   // this engine's own exchanges, for the span
   std::map<Tree, int> known_;
   // Guard keys are int sequences (ancestor strings or (state, label)
   // pairs); hashed lookup keeps the per-node indexing O(|key|).

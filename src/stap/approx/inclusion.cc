@@ -12,6 +12,7 @@
 #include "stap/base/check.h"
 #include "stap/base/metrics.h"
 #include "stap/base/thread_pool.h"
+#include "stap/base/trace.h"
 #include "stap/schema/reduce.h"
 #include "stap/schema/type_automaton.h"
 
@@ -24,6 +25,7 @@ StatusOr<bool> EdtdIncludedInXsd(const Edtd& d1_in, const DfaXsd& xsd2,
   static Histogram* const latency = GetHistogram("approx.inclusion_ms");
   calls->Increment();
   ScopedTimer timer(latency);
+  ScopedSpan span("approx.inclusion");
   // Align alphabets by rebuilding d1 over xsd2's alphabet extended with
   // d1's extra symbols; symbols unknown to xsd2 make inclusion fail as
   // soon as they are reachable.
@@ -57,6 +59,7 @@ StatusOr<bool> EdtdIncludedInXsd(const Edtd& d1_in, const DfaXsd& xsd2,
   // run as one parallel sweep below. Expansion is independent of the
   // content verdicts (a failing pair is still expanded in the serial
   // version), so collecting first is verdict-equivalent.
+  ScopedSpan bfs_span("inclusion.pair_bfs");
   std::unordered_set<uint64_t, U64Hash> seen;
   std::vector<std::pair<int, int>> worklist;
   Status charge_status;
@@ -84,11 +87,15 @@ StatusOr<bool> EdtdIncludedInXsd(const Edtd& d1_in, const DfaXsd& xsd2,
     }
   }
 
+  bfs_span.AddArg("pairs", worklist.size());
+  bfs_span.End();
   STAP_RETURN_IF_ERROR(charge_status);
 
   // Phase 2: content inclusion μ1(d1(τ)) ⊆ f2(q) at every reachable pair,
   // swept in parallel with a cooperative early-out on the first failure
   // or the first exhausted budget.
+  ScopedSpan sweep_span("inclusion.content_sweep");
+  sweep_span.AddArg("pairs", worklist.size());
   std::atomic<bool> failed{false};
   SharedStatus shared;
   ThreadPool::ParallelFor(

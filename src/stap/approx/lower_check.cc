@@ -8,6 +8,7 @@
 #include "stap/approx/upper_boolean.h"
 #include "stap/base/check.h"
 #include "stap/base/thread_pool.h"
+#include "stap/base/trace.h"
 #include "stap/schema/reduce.h"
 #include "stap/schema/single_type.h"
 #include "stap/schema/type_automaton.h"
@@ -48,6 +49,7 @@ LowerCheckResult CheckMaximalLowerFinite(const Edtd& candidate_in,
                                          const TreeBounds& bounds,
                                          const ClosureOptions& options,
                                          ThreadPool* pool) {
+  ScopedSpan span("approx.lower_check");
   auto [candidate_aligned, target_aligned] =
       AlignAlphabets(candidate_in, target_in);
   Edtd candidate = ReduceEdtd(candidate_aligned);
@@ -60,6 +62,7 @@ LowerCheckResult CheckMaximalLowerFinite(const Edtd& candidate_in,
 
   // Bounded enumerations of both languages. The enumeration itself can be
   // the largest loop on wide bounds, so it samples the deadline too.
+  ScopedSpan enum_span("lower_check.enumerate");
   std::vector<Tree> in_candidate;
   std::vector<Tree> extension_pool;
   for (const Tree& tree : EnumerateTrees(bounds)) {
@@ -74,6 +77,9 @@ LowerCheckResult CheckMaximalLowerFinite(const Edtd& candidate_in,
       extension_pool.push_back(tree);
     }
   }
+  enum_span.AddArg("in_candidate", in_candidate.size());
+  enum_span.AddArg("extension_pool", extension_pool.size());
+  enum_span.End();
 
   ClosureOptions exchange_options = options;
   // Abort a closure as soon as it leaves the target language.
@@ -92,6 +98,8 @@ LowerCheckResult CheckMaximalLowerFinite(const Edtd& candidate_in,
   // the fold never reads its outcome.
   enum : uint8_t { kUnknown = 0, kEscaped, kNotSaturated, kSaturated };
   const int n = static_cast<int>(extension_pool.size());
+  ScopedSpan sweep_span("lower_check.extension_sweep");
+  sweep_span.AddArg("extensions", n);
   std::vector<uint8_t> outcome(n, kUnknown);
   std::atomic<int> first_ext{n};
   SharedStatus shared;

@@ -12,6 +12,7 @@
 #include "stap/automata/state_set_hash.h"
 #include "stap/base/check.h"
 #include "stap/base/thread_pool.h"
+#include "stap/base/trace.h"
 #include "stap/schema/reduce.h"
 #include "stap/schema/single_type.h"
 #include "stap/schema/type_automaton.h"
@@ -21,6 +22,7 @@ namespace stap {
 StatusOr<bool> IsMinimalUpperApproximation(const Edtd& candidate_in,
                                            const Edtd& target_in,
                                            ThreadPool* pool, Budget* budget) {
+  ScopedSpan span("approx.minimal_upper_check");
   auto [candidate_aligned, target_aligned] =
       AlignAlphabets(candidate_in, target_in);
   Edtd candidate = ReduceEdtd(candidate_aligned);
@@ -30,12 +32,14 @@ StatusOr<bool> IsMinimalUpperApproximation(const Edtd& candidate_in,
 
   // Phase 1: the candidate must be an upper approximation at all:
   // L(target) ⊆ L(candidate). Polynomial (Lemma 3.3).
+  ScopedSpan phase1_span("muc.upper_inclusion");
   if (target.num_types() == 0) return candidate.num_types() == 0;
   if (candidate.num_types() == 0) return false;
   DfaXsd candidate_xsd = DfaXsdFromStEdtd(candidate);
   StatusOr<bool> upper = EdtdIncludedInXsd(target, candidate_xsd, pool, budget);
   if (!upper.ok()) return upper.status();
   if (!*upper) return false;
+  phase1_span.End();
 
   // Phase 2: L(candidate) ⊆ L(minupper(target)) — per the paper it
   // suffices to check inclusion, since minupper is the least single-type
@@ -53,6 +57,7 @@ StatusOr<bool> IsMinimalUpperApproximation(const Edtd& candidate_in,
 
   // Subsets of target-type states are interned to dense ids; the
   // visited-pair set and the per-subset content unions key off those ids.
+  ScopedSpan walk_span("muc.pair_walk");
   StateSetInterner subsets;
   std::unordered_set<uint64_t, U64Hash> seen;
   std::vector<std::pair<int, int>> worklist;  // (candidate state, subset id)
@@ -81,11 +86,15 @@ StatusOr<bool> IsMinimalUpperApproximation(const Edtd& candidate_in,
       visit(q_next, std::move(scratch));
     }
   }
+  walk_span.AddArg("pairs", worklist.size());
+  walk_span.AddArg("subsets", subsets.size());
+  walk_span.End();
   STAP_RETURN_IF_ERROR(charge_status);
 
   // Union NFA of a subset's content images. Built once per subset id (all
   // ids occur in the worklist); the antichain inclusion consumes the NFA
   // directly, so the union is never determinized.
+  ScopedSpan contents_span("muc.subset_contents");
   std::vector<Nfa> subset_content(subsets.size(), Nfa(0, num_symbols));
   ThreadPool::ParallelFor(pool, subsets.size(), [&](int subset_id) {
     Nfa content_union(0, num_symbols);
@@ -101,7 +110,10 @@ StatusOr<bool> IsMinimalUpperApproximation(const Edtd& candidate_in,
     }
     subset_content[subset_id] = std::move(content_union);
   });
+  contents_span.End();
 
+  ScopedSpan sweep_span("muc.content_sweep");
+  sweep_span.AddArg("pairs", worklist.size());
   const int candidate_init = candidate_xsd.automaton.initial();
   std::atomic<bool> failed{false};
   SharedStatus shared;

@@ -7,6 +7,7 @@
 #include "stap/automata/ops.h"
 #include "stap/base/check.h"
 #include "stap/base/metrics.h"
+#include "stap/base/trace.h"
 #include "stap/schema/reduce.h"
 #include "stap/schema/type_automaton.h"
 
@@ -20,19 +21,36 @@ StatusOr<DfaXsd> MinimalUpperApproximation(const Edtd& input, Budget* budget,
   static Histogram* const latency = GetHistogram("approx.upper_ms");
   calls->Increment();
   ScopedTimer timer(latency);
+  ScopedSpan span("approx.upper");
+  const int64_t budget_states_before =
+      budget != nullptr ? budget->states_charged() : 0;
 
+  // Construction 3.1 phases, each its own span so `stap explain` and the
+  // trace timeline show where an adversarial schema spends its states.
+  ScopedSpan reduce_span("upper.reduce");
   Edtd edtd = ReduceEdtd(input);
+  reduce_span.AddArg("types_in", input.num_types());
+  reduce_span.AddArg("types_out", edtd.num_types());
+  reduce_span.End();
+
+  ScopedSpan ta_span("upper.type_automaton");
   TypeAutomaton type_automaton = BuildTypeAutomaton(edtd);
+  ta_span.AddArg("nfa_states", type_automaton.nfa.num_states());
+  ta_span.End();
 
   // Subset construction on the type automaton. Each reachable subset is
   // either {q_init}, empty (the dead sink), or a set of type states that
   // all carry the same Σ-label.
+  ScopedSpan subset_span("upper.subset_construction");
   std::vector<StateSet> subsets;
   StatusOr<Dfa> determinized_or =
       Determinize(type_automaton.nfa, budget, &subsets);
   if (!determinized_or.ok()) return determinized_or.status();
   Dfa determinized = *std::move(determinized_or);
+  subset_span.AddArg("subset_states", determinized.num_states());
+  subset_span.End();
 
+  ScopedSpan merge_span("upper.merge_contents");
   // Renumber: {q_init} becomes state 0; non-empty subsets get 1..; the
   // empty sink is dropped.
   const int n = determinized.num_states();
@@ -98,7 +116,14 @@ StatusOr<DfaXsd> MinimalUpperApproximation(const Edtd& input, Budget* budget,
       xsd.content[remap[s]] = content->Trimmed();
     }
   }
+  merge_span.AddArg("merged_states", next_id);
+  merge_span.End();
   xsd.CheckWellFormed();
+  span.AddArg("xsd_states", xsd.automaton.num_states());
+  if (budget != nullptr) {
+    span.AddArg("budget_states",
+                budget->states_charged() - budget_states_before);
+  }
   return xsd;
 }
 

@@ -12,6 +12,7 @@
 #include "stap/automata/state_set_hash.h"
 #include "stap/base/check.h"
 #include "stap/base/thread_pool.h"
+#include "stap/base/trace.h"
 #include "stap/schema/minimize.h"
 #include "stap/schema/reduce.h"
 #include "stap/schema/type_automaton.h"
@@ -63,10 +64,12 @@ std::pair<Edtd, Edtd> AlignAlphabets(const Edtd& a, const Edtd& b) {
 }
 
 Edtd EdtdUnion(const Edtd& a_in, const Edtd& b_in) {
+  ScopedSpan span("boolean.edtd_union");
   auto [a, b] = AlignAlphabets(a_in, b_in);
   const int na = a.num_types();
   const int nb = b.num_types();
   const int n = na + nb;
+  span.AddArg("types", n);
 
   Edtd result;
   result.sigma = a.sigma;
@@ -111,6 +114,7 @@ Edtd EdtdUnion(const Edtd& a_in, const Edtd& b_in) {
 
 StatusOr<Edtd> EdtdIntersection(const Edtd& a_in, const Edtd& b_in,
                                 ThreadPool* pool, Budget* budget) {
+  ScopedSpan span("boolean.intersection");
   auto [a, b] = AlignAlphabets(a_in, b_in);
   const int na = a.num_types();
   const int nb = b.num_types();
@@ -130,6 +134,7 @@ StatusOr<Edtd> EdtdIntersection(const Edtd& a_in, const Edtd& b_in,
     }
   }
   const int n = static_cast<int>(result.mu.size());
+  span.AddArg("pairs", n);
 
   // Content of (τa, τb): words over the pair alphabet whose projections
   // satisfy both sides — the product of the lifted content DFAs. Each pair
@@ -177,11 +182,14 @@ Edtd EdtdIntersection(const Edtd& a, const Edtd& b, ThreadPool* pool) {
 
 StatusOr<Edtd> ComplementEdtd(const DfaXsd& xsd, ThreadPool* pool,
                               Budget* budget) {
+  ScopedSpan span("boolean.complement");
   xsd.CheckWellFormed();
   const int num_symbols = xsd.sigma.size();
   const int num_states = xsd.automaton.num_states();
   const int num_path = num_states - 1;          // path type of state q: q-1
   const int n = num_path + num_symbols;         // any-type of symbol a:
+  span.AddArg("path_types", num_path);
+  span.AddArg("types", n);
   auto any_type = [&](int a) { return num_path + a; };
 
   Edtd result;
@@ -260,6 +268,7 @@ Edtd ComplementEdtd(const DfaXsd& xsd, ThreadPool* pool) {
 
 StatusOr<Edtd> DifferenceEdtd(const Edtd& d1, const DfaXsd& xsd2,
                               ThreadPool* pool, Budget* budget) {
+  ScopedSpan span("boolean.difference");
   STAP_CHECK(d1.sigma == xsd2.sigma);
   d1.CheckWellFormed();
   xsd2.CheckWellFormed();
@@ -278,6 +287,8 @@ StatusOr<Edtd> DifferenceEdtd(const Edtd& d1, const DfaXsd& xsd2,
     }
   }
   const int n = n1 + static_cast<int>(pairs.size());
+  span.AddArg("pairs", pairs.size());
+  span.AddArg("types", n);
 
   Edtd result;
   result.sigma = d1.sigma;
@@ -391,6 +402,7 @@ Edtd DifferenceEdtd(const Edtd& d1, const DfaXsd& xsd2, ThreadPool* pool) {
 }
 
 StatusOr<DfaXsd> UpperUnion(const Edtd& d1, const Edtd& d2, Budget* budget) {
+  ScopedSpan span("approx.upper_union");
   STAP_CHECK(IsSingleType(d1));
   STAP_CHECK(IsSingleType(d2));
   return MinimalUpperApproximation(EdtdUnion(d1, d2), budget);
@@ -403,6 +415,7 @@ DfaXsd UpperUnion(const Edtd& d1, const Edtd& d2) {
 
 StatusOr<DfaXsd> UpperIntersection(const Edtd& d1_in, const Edtd& d2_in,
                                    ThreadPool* pool, Budget* budget) {
+  ScopedSpan span("approx.upper_intersection");
   auto [d1, d2] = AlignAlphabets(d1_in, d2_in);
   STAP_CHECK(IsSingleType(d1));
   STAP_CHECK(IsSingleType(d2));
@@ -412,6 +425,7 @@ StatusOr<DfaXsd> UpperIntersection(const Edtd& d1_in, const Edtd& d2_in,
 
   // Product of the two XSD automata over reachable pairs; content models
   // are intersected.
+  ScopedSpan walk_span("intersection.product_walk");
   std::unordered_map<std::pair<int, int>, int, IntPairHash> ids;
   std::vector<std::pair<int, int>> worklist;
   DfaXsd product;
@@ -442,12 +456,16 @@ StatusOr<DfaXsd> UpperIntersection(const Edtd& d1_in, const Edtd& d2_in,
       product.automaton.SetTransition(id, a, intern(r1, r2));
     }
   }
+  walk_span.AddArg("pairs", worklist.size());
+  walk_span.End();
   STAP_RETURN_IF_ERROR(charge_status);
   const int total = product.automaton.num_states();
   product.state_label.assign(total, kNoSymbol);
   product.content.assign(total, Dfa::EmptyLanguage(num_symbols));
   // worklist[id] is the pair interned as state id, so the per-state content
   // intersections index it directly and run as one parallel sweep.
+  ScopedSpan sweep_span("intersection.content_sweep");
+  sweep_span.AddArg("states", total);
   SharedStatus shared;
   ThreadPool::ParallelFor(pool, total, [&](int id) {
     if (id == 0 || !shared.ok()) return;
@@ -462,6 +480,7 @@ StatusOr<DfaXsd> UpperIntersection(const Edtd& d1_in, const Edtd& d2_in,
     }
     product.content[id] = *std::move(content);
   });
+  sweep_span.End();
   STAP_RETURN_IF_ERROR(shared.ToStatus());
   for (int a : x1.start_symbols) {
     if (StateSetContains(x2.start_symbols, a)) {
@@ -479,6 +498,7 @@ DfaXsd UpperIntersection(const Edtd& d1, const Edtd& d2, ThreadPool* pool) {
 
 StatusOr<DfaXsd> UpperComplement(const Edtd& d, ThreadPool* pool,
                                  Budget* budget) {
+  ScopedSpan span("approx.upper_complement");
   Edtd reduced = ReduceEdtd(d);
   STAP_CHECK(IsSingleType(reduced));
   StatusOr<Edtd> complement =
@@ -494,6 +514,7 @@ DfaXsd UpperComplement(const Edtd& d, ThreadPool* pool) {
 
 StatusOr<DfaXsd> UpperDifference(const Edtd& d1_in, const Edtd& d2_in,
                                  ThreadPool* pool, Budget* budget) {
+  ScopedSpan span("approx.upper_difference");
   auto [d1, d2] = AlignAlphabets(d1_in, d2_in);
   Edtd r1 = ReduceEdtd(d1);
   Edtd r2 = ReduceEdtd(d2);

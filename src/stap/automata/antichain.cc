@@ -8,6 +8,7 @@
 #include "stap/automata/bitset.h"
 #include "stap/base/check.h"
 #include "stap/base/metrics.h"
+#include "stap/base/trace.h"
 
 namespace stap {
 
@@ -84,6 +85,9 @@ StatusOr<std::optional<Word>> AntichainInclusionCounterexample(
   static Histogram* const frontier_size =
       GetHistogram("antichain.layer_width");
   calls->Increment();
+  ScopedSpan call_span("antichain.inclusion");
+  call_span.AddArg("a_states", a.num_states());
+  call_span.AddArg("b_states", b.num_states());
 
   STAP_CHECK(a.num_symbols() == b.num_symbols());
   const int num_symbols = a.num_symbols();
@@ -119,9 +123,16 @@ StatusOr<std::optional<Word>> AntichainInclusionCounterexample(
     return false;
   };
 
+  // Per-settle tallies mirrored into the layer spans (the registry
+  // counters are process-global, so per-layer deltas need locals).
+  int64_t settle_prunes = 0;
+  int64_t settle_kept = 0;
+
   // Folds the pending candidates into the kept frontier (stages 1 and 2)
   // and returns the new layer.
   auto settle = [&]() -> Status {
+    settle_prunes = 0;
+    settle_kept = 0;
     layer.clear();
     for (int p : cand_states) {
       // Stage 2 first: reduce this layer's candidates for p to the
@@ -139,6 +150,7 @@ StatusOr<std::optional<Word>> AntichainInclusionCounterexample(
         }
         if (dominated) {
           prunes_layer->Increment();
+          ++settle_prunes;
           continue;
         }
         const size_t before = minimal.size();
@@ -149,6 +161,7 @@ StatusOr<std::optional<Word>> AntichainInclusionCounterexample(
                            }),
             minimal.end());
         prunes_layer->Increment(static_cast<int64_t>(before - minimal.size()));
+        settle_prunes += static_cast<int64_t>(before - minimal.size());
         minimal.push_back(c);
       }
       // Stage 1: drop survivors covered by kept elders.
@@ -163,6 +176,7 @@ StatusOr<std::optional<Word>> AntichainInclusionCounterexample(
         }
         if (dominated) {
           prunes_elder->Increment();
+          ++settle_prunes;
           continue;
         }
         int id = static_cast<int>(nodes.size());
@@ -171,6 +185,7 @@ StatusOr<std::optional<Word>> AntichainInclusionCounterexample(
         nodes.push_back(Node{p, c.parent, c.via_symbol});
         node_sets.push_back(cand_sets[c.set_id]);
         nodes_kept->Increment();
+        ++settle_kept;
         STAP_RETURN_IF_ERROR(Budget::ChargeStates(budget));
       }
       cand[p].clear();
@@ -183,6 +198,8 @@ StatusOr<std::optional<Word>> AntichainInclusionCounterexample(
 
   // Depth-0 candidates: every a-initial state against the b-initial set.
   {
+    ScopedSpan layer_span("antichain.layer");
+    layer_span.AddArg("depth", 0);
     const DenseStateSet& init = dense_b.initial();
     cand_sets.push_back(init);
     STAP_RETURN_IF_ERROR(Budget::ChargeSets(budget));
@@ -190,13 +207,19 @@ StatusOr<std::optional<Word>> AntichainInclusionCounterexample(
       if (offer(p, init, 0, -1, kNoSymbol)) return witness;
     }
     STAP_RETURN_IF_ERROR(settle());
+    layer_span.AddArg("frontier", layer.size());
+    layer_span.AddArg("prunes", settle_prunes);
   }
 
   DenseStateSet scratch(b.num_states());
+  int depth = 0;
   while (!layer.empty()) {
+    ScopedSpan layer_span("antichain.layer");
+    layer_span.AddArg("depth", ++depth);
     STAP_RETURN_IF_ERROR(Budget::CheckDeadline(budget));
     std::vector<int> current;
     std::swap(current, layer);
+    layer_span.AddArg("expanded", current.size());
     for (int id : current) {
       const int p = nodes[id].a_state;
       for (int sym = 0; sym < num_symbols; ++sym) {
@@ -212,7 +235,14 @@ StatusOr<std::optional<Word>> AntichainInclusionCounterexample(
       }
     }
     STAP_RETURN_IF_ERROR(settle());
+    // Frontier width and subsumption prunes of THIS layer — the numbers
+    // that distinguish a polynomial frontier from the 2^n blowup.
+    layer_span.AddArg("frontier", layer.size());
+    layer_span.AddArg("kept", settle_kept);
+    layer_span.AddArg("prunes", settle_prunes);
   }
+  call_span.AddArg("nodes_kept", nodes.size());
+  call_span.AddArg("layers", depth + 1);
   return std::optional<Word>(std::nullopt);
 }
 

@@ -4,6 +4,7 @@
 
 #include "stap/automata/bitset.h"
 #include "stap/base/metrics.h"
+#include "stap/base/trace.h"
 
 namespace stap {
 
@@ -14,6 +15,8 @@ StatusOr<Dfa> Determinize(const Nfa& nfa, Budget* budget,
       GetCounter("determinize.states_created");
   static Histogram* const dfa_states = GetHistogram("determinize.dfa_states");
   calls->Increment();
+  ScopedSpan span("determinize");
+  span.AddArg("nfa_states", nfa.num_states());
 
   const int num_symbols = nfa.num_symbols();
   const DenseNfa dense(nfa);
@@ -47,6 +50,9 @@ StatusOr<Dfa> Determinize(const Nfa& nfa, Budget* budget,
     }
   }
   dfa_states->Record(dfa.num_states());
+  // The same quantity the registry counts: subset states created (the
+  // `stap explain` table cross-checks the two).
+  span.AddArg("states_created", dfa.num_states());
   if (subsets != nullptr) {
     subsets->reserve(subsets->size() + interner.size());
     for (int id = 0; id < interner.size(); ++id) {

@@ -10,6 +10,7 @@
 #include "stap/automata/state_set_hash.h"
 #include "stap/base/check.h"
 #include "stap/base/metrics.h"
+#include "stap/base/trace.h"
 
 namespace stap {
 
@@ -116,6 +117,9 @@ StatusOr<Dfa> Minimize(const Dfa& input, Budget* budget) {
   static Counter* const calls = GetCounter("minimize.calls");
   static Counter* const rounds = GetCounter("minimize.rounds");
   calls->Increment();
+  ScopedSpan span("minimize");
+  span.AddArg("states_in", input.num_states());
+  int64_t rounds_run = 0;
 
   Dfa dfa = input.Trimmed().Completed();
   const int n = dfa.num_states();
@@ -135,6 +139,7 @@ StatusOr<Dfa> Minimize(const Dfa& input, Budget* budget) {
     // Minimization never grows the state count, so only the wall clock
     // can exhaust the budget; one check per refinement round suffices.
     rounds->Increment();
+    ++rounds_run;
     STAP_RETURN_IF_ERROR(Budget::CheckDeadline(budget));
     SignatureInterner signature_ids(signature.size(), n);
     for (int q = 0; q < n; ++q) {
@@ -161,6 +166,8 @@ StatusOr<Dfa> Minimize(const Dfa& input, Budget* budget) {
   }
 
   Dfa trimmed = quotient.Trimmed();
+  span.AddArg("rounds", rounds_run);
+  span.AddArg("states_out", trimmed.num_states());
   if (trimmed.IsEmpty()) return Dfa::EmptyLanguage(num_symbols);
   return CanonicalizeNumbering(trimmed);
 }

@@ -7,6 +7,7 @@
 #include "stap/automata/state_set_hash.h"
 #include "stap/base/check.h"
 #include "stap/base/metrics.h"
+#include "stap/base/trace.h"
 
 namespace stap {
 
@@ -16,6 +17,7 @@ StatusOr<Dfa> DfaProduct(const Dfa& a_in, const Dfa& b_in, BoolOp op,
   static Counter* const states_created =
       GetCounter("ops.product_states_created");
   calls->Increment();
+  ScopedSpan span("dfa_product");
 
   STAP_CHECK(a_in.num_symbols() == b_in.num_symbols());
   const Dfa a = a_in.Completed();
@@ -61,6 +63,7 @@ StatusOr<Dfa> DfaProduct(const Dfa& a_in, const Dfa& b_in, BoolOp op,
     }
   }
   STAP_RETURN_IF_ERROR(charge_status);
+  span.AddArg("states_created", product.num_states());
   return product.Trimmed();
 }
 

@@ -5,42 +5,11 @@
 #include <cstdio>
 #include <sstream>
 
+#include "stap/base/string_util.h"
+
 namespace stap {
 
 namespace {
-
-// Instrument names are programmer-chosen identifiers (dots, dashes,
-// alphanumerics), but escape the JSON-significant characters anyway so a
-// stray name can never produce unparseable output.
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
 
 // JSON has no NaN/Inf literals; clamp to 0 (never produced by the
 // instruments, but dumps must always parse).
@@ -149,6 +118,54 @@ std::string MetricsRegistry::ToJson() const {
     first = false;
   }
   os << (first ? "" : "\n  ") << "}\n}\n";
+  return os.str();
+}
+
+namespace {
+
+// Prometheus metric names admit [a-zA-Z_:][a-zA-Z0-9_:]*; instrument
+// names use dots and dashes, which map to underscores.
+std::string PrometheusName(const std::string& name) {
+  std::string out = "stap_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToPrometheusText() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os.precision(17);
+  for (const auto& [name, counter] : counters_) {
+    const std::string prom = PrometheusName(name);
+    os << "# TYPE " << prom << " counter\n"
+       << prom << ' ' << counter->value() << '\n';
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const Histogram::Snapshot snap = histogram->snapshot();
+    const std::string prom = PrometheusName(name);
+    os << "# TYPE " << prom << " histogram\n";
+    // Bucket i of the snapshot covers [2^(i-1), 2^i) (bucket 0: < 1), so
+    // the cumulative count through bucket i has le = 2^i. The all-zero
+    // tail is elided; the mandatory +Inf bucket carries the total.
+    int last = Histogram::kNumBuckets - 1;
+    while (last > 0 && snap.buckets[last] == 0) --last;
+    int64_t cumulative = 0;
+    for (int i = 0; i < last && i < Histogram::kNumBuckets - 1; ++i) {
+      cumulative += snap.buckets[i];
+      os << prom << "_bucket{le=\"" << (int64_t{1} << i) << "\"} "
+         << cumulative << '\n';
+    }
+    os << prom << "_bucket{le=\"+Inf\"} " << snap.count << '\n'
+       << prom << "_sum ";
+    AppendNumber(&os, snap.sum);
+    os << '\n' << prom << "_count " << snap.count << '\n';
+  }
   return os.str();
 }
 

@@ -95,6 +95,13 @@ class MetricsRegistry {
   // Names are sorted, so output is deterministic for a given state.
   std::string ToJson() const;
 
+  // Prometheus exposition format: each counter becomes a `counter`
+  // metric, each histogram a `histogram` with cumulative power-of-two
+  // `le` buckets plus `_sum`/`_count`. Names are prefixed with `stap_`
+  // and non-identifier characters become underscores, so dashboards can
+  // scrape the dump without a JSON shim.
+  std::string ToPrometheusText() const;
+
  private:
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;

@@ -1,6 +1,7 @@
 #include "stap/base/string_util.h"
 
 #include <cctype>
+#include <cstdio>
 
 namespace stap {
 
@@ -43,6 +44,36 @@ std::string_view StripWhitespace(std::string_view input) {
 bool StartsWith(std::string_view input, std::string_view prefix) {
   return input.size() >= prefix.size() &&
          input.substr(0, prefix.size()) == prefix;
+}
+
+std::string JsonEscape(std::string_view input) {
+  std::string out;
+  out.reserve(input.size());
+  for (char c : input) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
 }
 
 }  // namespace stap

@@ -20,6 +20,12 @@ std::string_view StripWhitespace(std::string_view input);
 // True if `input` starts with `prefix`.
 bool StartsWith(std::string_view input, std::string_view prefix);
 
+// Escapes the JSON-significant characters (quote, backslash, control
+// bytes) so `input` can sit inside a JSON string literal. Used by the
+// metrics and trace dumps, whose names are programmer-chosen but whose
+// output must always parse.
+std::string JsonEscape(std::string_view input);
+
 }  // namespace stap
 
 #endif  // STAP_BASE_STRING_UTIL_H_

@@ -20,10 +20,12 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "stap/base/metrics.h"
+#include "stap/base/trace.h"
 
 namespace stap {
 
@@ -34,7 +36,13 @@ class ThreadPool {
   explicit ThreadPool(int num_threads) {
     workers_.reserve(num_threads > 0 ? num_threads : 0);
     for (int i = 0; i < num_threads; ++i) {
-      workers_.emplace_back([this] { WorkerLoop(); });
+      // Workers get stable names: the OS sees them in top/gdb, and the
+      // trace layer labels each worker's track with it. Named before the
+      // loop starts so any session the worker ever records into sees it.
+      workers_.emplace_back([this, i] {
+        SetCurrentThreadName("stap-worker-" + std::to_string(i));
+        WorkerLoop();
+      });
     }
   }
 
@@ -89,8 +97,11 @@ class ThreadPool {
   void ParallelFor(int n, const std::function<void(int)>& fn) {
     if (n <= 0) return;
     CountSweep(n);
+    ScopedSpan span("pool.parallel_for");
+    span.AddArg("n", n);
     const int helpers =
         std::min(static_cast<int>(workers_.size()), n - 1);
+    span.AddArg("helpers", helpers);
     if (helpers == 0) {
       for (int i = 0; i < n; ++i) fn(i);
       return;
@@ -113,7 +124,11 @@ class ThreadPool {
   static void ParallelFor(ThreadPool* pool, int n,
                           const std::function<void(int)>& fn) {
     if (pool == nullptr) {
-      if (n > 0) CountSweep(n);
+      if (n <= 0) return;
+      CountSweep(n);
+      ScopedSpan span("pool.parallel_for");
+      span.AddArg("n", n);
+      span.AddArg("helpers", 0);
       for (int i = 0; i < n; ++i) fn(i);
     } else {
       pool->ParallelFor(n, fn);
@@ -138,6 +153,10 @@ class ThreadPool {
     int completed = 0;  // guarded by mutex
 
     void Drain() {
+      // One span per participating thread, not per index: the chunk is
+      // the unit of scheduling, and per-index spans would swamp small
+      // tasks. Worker chunks appear on their own named tracks.
+      ScopedSpan span("pool.chunk");
       int claimed = 0;
       while (true) {
         int i = next.fetch_add(1, std::memory_order_relaxed);
@@ -145,6 +164,8 @@ class ThreadPool {
         (*fn)(i);
         ++claimed;
       }
+      span.AddArg("claimed", claimed);
+      span.End();
       if (claimed > 0) {
         std::unique_lock<std::mutex> lock(mutex);
         completed += claimed;

@@ -7,6 +7,7 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -199,6 +200,61 @@ TEST(MetricsTest, JsonDumpIsWellFormed) {
     ASSERT_GE(depth, 0);
   }
   EXPECT_EQ(depth, 0);
+}
+
+TEST(MetricsTest, PrometheusDumpExposesCountersAndHistograms) {
+  MetricsRegistry::Global()->Reset();
+  GetCounter("test.prom-counter")->Increment(5);
+  Histogram* histogram = GetHistogram("test.prom.histogram");
+  histogram->Record(0.5);  // bucket 0: < 1
+  histogram->Record(3.0);  // bucket 2: [2, 4)
+  histogram->Record(3.5);
+  std::string text = MetricsRegistry::Global()->ToPrometheusText();
+
+  // Names are prefixed and sanitized to the exposition charset.
+  EXPECT_NE(text.find("# TYPE stap_test_prom_counter counter\n"
+                      "stap_test_prom_counter 5\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE stap_test_prom_histogram histogram\n"),
+            std::string::npos)
+      << text;
+  // Cumulative buckets: le="1" sees the sub-1 sample, le="2" adds
+  // nothing, le="4" has all three; +Inf and _count agree on the total.
+  EXPECT_NE(text.find("stap_test_prom_histogram_bucket{le=\"1\"} 1\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("stap_test_prom_histogram_bucket{le=\"2\"} 1\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("stap_test_prom_histogram_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("stap_test_prom_histogram_sum 7\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("stap_test_prom_histogram_count 3\n"),
+            std::string::npos)
+      << text;
+  // Cumulative counts never decrease across the bucket series.
+  const std::string bucket_prefix = "stap_test_prom_histogram_bucket{le=";
+  int64_t previous = 0;
+  for (size_t pos = text.find(bucket_prefix); pos != std::string::npos;
+       pos = text.find(bucket_prefix, pos + 1)) {
+    size_t space = text.find("} ", pos);
+    ASSERT_NE(space, std::string::npos);
+    int64_t value = std::atoll(text.c_str() + space + 2);
+    EXPECT_GE(value, previous) << text;
+    previous = value;
+  }
+  // Every line is a comment or a `name value` sample (no JSON leakage).
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    if (line[0] == '#') continue;
+    EXPECT_EQ(line.rfind("stap_", 0), 0u) << line;
+    EXPECT_NE(line.find(' '), std::string::npos) << line;
+  }
 }
 
 TEST(ThreadPoolTest, DefaultThreadsHonorsTheEnvironmentOverride) {

@@ -19,6 +19,8 @@
 //   stap export <schema> [--repair-upa]  write a W3C-style .xsd document
 //   stap import <schema.xsd>             read a W3C-style .xsd document
 //   stap family <name> <n>               generate a paper lower-bound family
+//   stap explain <schema>                approximate and print a per-phase
+//                                        provenance table (sizes, wall ms)
 //
 // Global flags (accepted anywhere on the command line):
 //   --budget-ms=N        wall-clock deadline for the command's kernels
@@ -26,6 +28,11 @@
 //   --max-sets=N         cap on frontier/subset sets
 //   --metrics-json[=F]   dump the metrics registry as JSON to file F
 //                        (bare flag or F=- writes to stderr)
+//   --metrics-prom[=F]   dump the metrics registry in Prometheus
+//                        exposition format (bare flag or F=- → stderr)
+//   --trace-json[=F]     record a Chrome trace-event session around the
+//                        command and write it to F (bare/- → stderr);
+//                        load the file in Perfetto or chrome://tracing
 //
 // A command stopped by the budget exits with code 3 (kResourceExhausted)
 // after printing the exhaustion reason; the metrics dump still runs, so
@@ -46,6 +53,7 @@
 #include "stap/approx/inclusion.h"
 #include "stap/base/budget.h"
 #include "stap/base/metrics.h"
+#include "stap/base/trace.h"
 #include "stap/gen/families.h"
 #include "stap/approx/lower_check.h"
 #include "stap/approx/nv.h"
@@ -93,8 +101,11 @@ int Usage() {
          "                                (theorem32, theorem36a/b,\n"
          "                                theorem38a/b, theorem43a/b,\n"
          "                                theorem411; 43/411 ignore n)\n"
+         "  explain <schema>              approximate and print a per-phase\n"
+         "                                provenance table\n"
          "global flags: --budget-ms=N --max-states=N --max-sets=N\n"
-         "              --metrics-json[=file]   (exit 3 = budget exhausted)\n";
+         "              --metrics-json[=file] --metrics-prom[=file]\n"
+         "              --trace-json[=file]  (exit 3 = budget exhausted)\n";
   return 2;
 }
 
@@ -124,13 +135,24 @@ struct GlobalOptions {
   std::unique_ptr<Budget> budget;  // null = unlimited
   bool dump_metrics = false;
   std::string metrics_path;  // empty or "-" = stderr
+  bool dump_prom = false;
+  std::string prom_path;  // empty or "-" = stderr
+  bool trace = false;
+  std::string trace_path;  // empty or "-" = stderr
+  // Session wrapping the whole command when --trace-json is given; also
+  // borrowed by `explain` for its phase table so one recording serves both.
+  std::unique_ptr<TraceSession> session;
+  // Registry value at session start, so `explain` can cross-check span
+  // sums against counter deltas over the exact recording window.
+  int64_t states_at_trace_start = 0;
 
   Budget* budget_ptr() const { return budget.get(); }
 };
 
-// Extracts the global --budget-ms/--max-states/--max-sets/--metrics-json
-// flags from anywhere on the command line; everything else passes through
-// in order. Returns false on a malformed flag value.
+// Extracts the global --budget-ms/--max-states/--max-sets/--metrics-json/
+// --metrics-prom/--trace-json flags from anywhere on the command line;
+// everything else passes through in order. Returns false on a malformed
+// flag value. (Keep this list in sync with Usage() and the file header.)
 bool ParseGlobalFlags(int argc, char** argv, std::vector<std::string>* args,
                       GlobalOptions* options) {
   auto budget = [&]() -> Budget* {
@@ -161,6 +183,16 @@ bool ParseGlobalFlags(int argc, char** argv, std::vector<std::string>* args,
     } else if (arg.rfind("--metrics-json=", 0) == 0) {
       options->dump_metrics = true;
       options->metrics_path = arg.substr(15);
+    } else if (arg == "--metrics-prom") {
+      options->dump_prom = true;
+    } else if (arg.rfind("--metrics-prom=", 0) == 0) {
+      options->dump_prom = true;
+      options->prom_path = arg.substr(15);
+    } else if (arg == "--trace-json") {
+      options->trace = true;
+    } else if (arg.rfind("--trace-json=", 0) == 0) {
+      options->trace = true;
+      options->trace_path = arg.substr(13);
     } else {
       args->push_back(std::move(arg));
     }
@@ -168,24 +200,45 @@ bool ParseGlobalFlags(int argc, char** argv, std::vector<std::string>* args,
   return true;
 }
 
-// Writes the metrics registry to the configured sink. Runs after the
+// Writes `text` to `path` ("" or "-" = stderr). Returns the exit code,
+// degraded to 1 on a write failure that would otherwise be reported as
+// success.
+int WriteDump(const std::string& text, const std::string& path,
+              const char* what, int exit_code) {
+  if (path.empty() || path == "-") {
+    std::cerr << text << "\n";
+    return exit_code;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "error: cannot write " << what << " to '" << path << "'\n";
+    return exit_code == 0 ? 1 : exit_code;
+  }
+  out << text << "\n";
+  return exit_code;
+}
+
+// Writes the metrics registry to the configured sinks. Runs after the
 // command body whatever its outcome, so budget-exhausted runs still
 // report how far they got.
 int DumpMetrics(const GlobalOptions& options, int exit_code) {
-  if (!options.dump_metrics) return exit_code;
-  const std::string json = MetricsRegistry::Global()->ToJson();
-  if (options.metrics_path.empty() || options.metrics_path == "-") {
-    std::cerr << json << "\n";
-    return exit_code;
+  if (options.dump_metrics) {
+    exit_code = WriteDump(MetricsRegistry::Global()->ToJson(),
+                          options.metrics_path, "metrics", exit_code);
   }
-  std::ofstream out(options.metrics_path);
-  if (!out) {
-    std::cerr << "error: cannot write metrics to '" << options.metrics_path
-              << "'\n";
-    return exit_code == 0 ? 1 : exit_code;
+  if (options.dump_prom) {
+    exit_code = WriteDump(MetricsRegistry::Global()->ToPrometheusText(),
+                          options.prom_path, "metrics", exit_code);
   }
-  out << json << "\n";
   return exit_code;
+}
+
+// Stops the --trace-json session (if any) and writes the Chrome trace.
+int DumpTrace(GlobalOptions& options, int exit_code) {
+  if (options.session == nullptr) return exit_code;
+  options.session->Stop();
+  return WriteDump(options.session->ToChromeJson(), options.trace_path,
+                   "trace", exit_code);
 }
 
 int CmdValidate(const std::string& schema_path, const std::string& doc_path) {
@@ -267,7 +320,57 @@ int CmdSample(const std::string& schema_path, int count) {
   return 0;
 }
 
-int RunCommand(const std::vector<std::string>& argv, Budget* budget) {
+// `stap explain`: run the approximation pipeline under a trace session and
+// print the per-phase provenance rollup — each phase with call count, wall
+// time, and the size counters its spans recorded. Reuses the global
+// --trace-json session when one is active so the same recording also lands
+// in the Chrome trace; otherwise records into a throwaway local session.
+int CmdExplain(const std::string& schema_path, GlobalOptions& options) {
+  StatusOr<Edtd> schema = LoadSchema(schema_path);
+  if (!schema.ok()) return Fail(schema.status());
+
+  Counter* const determinize_states = GetCounter("determinize.states_created");
+  TraceSession local;
+  TraceSession* session = options.session.get();
+  // The registry delta is measured over the recording window, so it is
+  // comparable to the span sums whichever session records.
+  int64_t states_before = options.states_at_trace_start;
+  if (session == nullptr) {
+    states_before = determinize_states->value();
+    session = &local;
+    local.Start();
+  }
+
+  StatusOr<DfaXsd> xsd =
+      MinimalUpperApproximation(*schema, options.budget_ptr());
+  if (session == &local) local.Stop();
+  // The phase table is printed even when the budget ran out: seeing where
+  // the states went is most valuable exactly then.
+  std::cout << TraceSession::FormatPhaseTable(session->PhaseTable());
+  // Cross-check: the `states_created` args summed over every determinize
+  // span (any depth) must equal the registry counter's delta over the
+  // recording window — both count the same subset-construction states.
+  int64_t traced_states = 0;
+  for (const TraceSession::PhaseRow& row :
+       session->PhaseTable(/*max_depth=*/1 << 20)) {
+    if (row.name != "determinize") continue;
+    for (const auto& [key, value] : row.int_args) {
+      if (key == "states_created") traced_states += value;
+    }
+  }
+  const int64_t registry_states =
+      determinize_states->value() - states_before;
+  std::cout << "cross-check: determinize.states_created +" << registry_states
+            << " (registry), " << traced_states << " (trace spans)"
+            << (registry_states == traced_states ? "" : "  MISMATCH") << "\n";
+  if (!xsd.ok()) return Fail(xsd.status());
+  std::cout << "result: " << xsd->automaton.num_states()
+            << " XSD states over " << xsd->sigma.size() << " elements\n";
+  return 0;
+}
+
+int RunCommand(const std::vector<std::string>& argv, GlobalOptions& options) {
+  Budget* const budget = options.budget_ptr();
   const int argc = static_cast<int>(argv.size());
   if (argc < 2) return Usage();
   std::string command = argv[1];
@@ -488,6 +591,7 @@ int RunCommand(const std::vector<std::string>& argv, Budget* budget) {
     std::cout << SchemaToText(schema);
     return 0;
   }
+  if (command == "explain" && argc == 3) return CmdExplain(argv[2], options);
   return Usage();
 }
 
@@ -496,8 +600,14 @@ int Run(int argc, char** argv) {
   std::vector<std::string> args;
   args.push_back(argc > 0 ? argv[0] : "stap");
   if (!ParseGlobalFlags(argc, argv, &args, &options)) return Usage();
-  const int code = RunCommand(args, options.budget_ptr());
-  return DumpMetrics(options, code);
+  if (options.trace) {
+    options.session = std::make_unique<TraceSession>();
+    options.session->Start();
+    options.states_at_trace_start =
+        GetCounter("determinize.states_created")->value();
+  }
+  const int code = RunCommand(args, options);
+  return DumpTrace(options, DumpMetrics(options, code));
 }
 
 }  // namespace
