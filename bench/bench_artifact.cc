@@ -1,0 +1,177 @@
+// Experiment E19: compiled-schema artifacts vs. recompilation.
+//
+// The serving-path question: a process that validates a batch of
+// documents can either recompile the schema from source per invocation
+// (cold) or load a compiled artifact once and share it (warm). The
+// headline pair — BM_ColdBatchValidate / BM_WarmBatchValidate — runs the
+// same 100-document batch both ways; the recorded speedup backs the
+// >= 5x claim in EXPERIMENTS.md. The micro benches price the artifact
+// codec itself and a compile-cache hit.
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "stap/base/check.h"
+#include "stap/base/compile_cache.h"
+#include "stap/gen/random.h"
+#include "stap/io/artifact.h"
+#include "stap/io/batch_validate.h"
+#include "stap/schema/text_format.h"
+#include "stap/tree/xml.h"
+
+namespace stap {
+namespace {
+
+constexpr int kNumDocuments = 100;
+
+struct Workload {
+  std::string schema_text;       // the cold path's input
+  std::string artifact_bytes;    // the warm path's input
+  CompiledSchema schema;         // pre-loaded, for codec micros
+  std::vector<BatchDocument> documents;
+};
+
+// A single-type schema big enough that compilation (Glushkov →
+// determinize → minimize per content model, reduction, conversion)
+// dominates validating one small document — the regime the artifact
+// format exists for.
+const Workload& GetWorkload() {
+  static const Workload* workload = [] {
+    auto* w = new Workload();
+    std::mt19937 rng(20260806);
+    RandomSchemaParams params;
+    params.num_symbols = 8;
+    params.num_types = 40;
+    params.content_breadth = 3;
+    Edtd edtd = RandomStEdtd(&rng, params);
+    w->schema_text = SchemaToText(edtd);
+
+    StatusOr<CompiledSchema> compiled =
+        CompileSchema(w->schema_text, nullptr);
+    STAP_CHECK(compiled.ok());
+    w->schema = std::move(*compiled);
+    w->artifact_bytes = SerializeArtifact(w->schema);
+
+    for (int i = 0; i < kNumDocuments; ++i) {
+      BatchDocument document;
+      document.name = "doc" + std::to_string(i);
+      auto tree = SampleTree(w->schema.xsd, &rng);
+      STAP_CHECK(tree.has_value());
+      document.xml = ToXml(*tree, w->schema.edtd.sigma);
+      w->documents.push_back(std::move(document));
+    }
+    return w;
+  }();
+  return *workload;
+}
+
+// Cold: every document pays a full schema compilation from source, the
+// cost a validator without artifacts pays per invocation.
+void BM_ColdBatchValidate(benchmark::State& state) {
+  const Workload& w = GetWorkload();
+  int num_valid = 0;
+  for (auto _ : state) {
+    num_valid = 0;
+    for (const BatchDocument& document : w.documents) {
+      StatusOr<CompiledSchema> schema = CompileSchema(w.schema_text, nullptr);
+      STAP_CHECK(schema.ok());
+      BatchResult result = BatchValidate(*schema, {document}, BatchOptions());
+      num_valid += result.num_valid;
+    }
+    benchmark::DoNotOptimize(num_valid);
+  }
+  state.counters["documents"] = kNumDocuments;
+  state.counters["valid"] = num_valid;
+}
+
+// Warm: one artifact load, then the whole batch against the shared
+// schema. Same work product as the cold loop.
+void BM_WarmBatchValidate(benchmark::State& state) {
+  const Workload& w = GetWorkload();
+  const int jobs = static_cast<int>(state.range(0));
+  int num_valid = 0;
+  for (auto _ : state) {
+    StatusOr<CompiledSchema> schema = DeserializeArtifact(w.artifact_bytes);
+    STAP_CHECK(schema.ok());
+    BatchOptions options;
+    options.jobs = jobs;
+    BatchResult result = BatchValidate(*schema, w.documents, options);
+    num_valid = result.num_valid;
+    benchmark::DoNotOptimize(num_valid);
+  }
+  state.counters["documents"] = kNumDocuments;
+  state.counters["jobs"] = jobs;
+  state.counters["valid"] = num_valid;
+}
+
+void BM_SerializeArtifact(benchmark::State& state) {
+  const Workload& w = GetWorkload();
+  for (auto _ : state) {
+    std::string bytes = SerializeArtifact(w.schema);
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.counters["bytes"] =
+      static_cast<double>(w.artifact_bytes.size());
+}
+
+void BM_DeserializeArtifact(benchmark::State& state) {
+  const Workload& w = GetWorkload();
+  for (auto _ : state) {
+    StatusOr<CompiledSchema> schema = DeserializeArtifact(w.artifact_bytes);
+    benchmark::DoNotOptimize(schema);
+  }
+  state.counters["bytes"] =
+      static_cast<double>(w.artifact_bytes.size());
+}
+
+// One full schema compilation from source (the unit the cold loop pays
+// per document), for the E19 cost breakdown.
+void BM_CompileSchemaUncached(benchmark::State& state) {
+  const Workload& w = GetWorkload();
+  for (auto _ : state) {
+    StatusOr<CompiledSchema> schema = CompileSchema(w.schema_text, nullptr);
+    benchmark::DoNotOptimize(schema);
+  }
+}
+
+// The same compilation through a warm compile cache: parsing still runs,
+// but every content model is a cache hit.
+void BM_CompileSchemaWarmCache(benchmark::State& state) {
+  const Workload& w = GetWorkload();
+  CompileCache cache(16);
+  StatusOr<CompiledSchema> warmup = CompileSchema(w.schema_text, &cache);
+  STAP_CHECK(warmup.ok());
+  for (auto _ : state) {
+    StatusOr<CompiledSchema> schema = CompileSchema(w.schema_text, &cache);
+    benchmark::DoNotOptimize(schema);
+  }
+}
+
+// A single cache hit: key construction + sharded lookup.
+void BM_CacheHit(benchmark::State& state) {
+  const Workload& w = GetWorkload();
+  CompileCache cache(16);
+  Alphabet types = w.schema.edtd.types;
+  ContentModelKey key = MakeContentModelKey("T0 T1*", types);
+  StatusOr<std::shared_ptr<const Dfa>> seeded = cache.GetOrCompile(
+      key, [&]() -> StatusOr<Dfa> { return Dfa::AllWords(types.size()); });
+  STAP_CHECK(seeded.ok());
+  for (auto _ : state) {
+    StatusOr<std::shared_ptr<const Dfa>> dfa = cache.GetOrCompile(
+        key, [&]() -> StatusOr<Dfa> { return Dfa::AllWords(types.size()); });
+    benchmark::DoNotOptimize(dfa);
+  }
+}
+
+BENCHMARK(BM_ColdBatchValidate)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_WarmBatchValidate)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SerializeArtifact)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_DeserializeArtifact)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_CompileSchemaUncached)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CompileSchemaWarmCache)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CacheHit)->Unit(benchmark::kNanosecond);
+
+}  // namespace
+}  // namespace stap

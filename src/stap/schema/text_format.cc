@@ -3,6 +3,7 @@
 #include <sstream>
 #include <vector>
 
+#include "stap/base/compile_cache.h"
 #include "stap/base/string_util.h"
 #include "stap/regex/from_dfa.h"
 #include "stap/regex/glushkov.h"
@@ -68,6 +69,10 @@ StatusOr<SchemaDeclarations> ParseSchemaDeclarations(std::string_view input) {
 }
 
 StatusOr<Edtd> ParseSchema(std::string_view input) {
+  return ParseSchema(input, nullptr);
+}
+
+StatusOr<Edtd> ParseSchema(std::string_view input, CompileCache* cache) {
   StatusOr<SchemaDeclarations> decls = ParseSchemaDeclarations(input);
   if (!decls.ok()) return decls.status();
 
@@ -77,12 +82,26 @@ StatusOr<Edtd> ParseSchema(std::string_view input) {
   edtd.mu = decls->mu;
   edtd.start_types = decls->start_types;
   // Content regexes may mention types declared later; compilation happens
-  // after all declarations are in, with the final type count.
+  // after all declarations are in, with the final type count. With a
+  // cache, each (source, type alphabet) pair compiles at most once per
+  // process; the compiled minimal DFA is copied out of the shared entry.
   for (const std::string& source : decls->content_sources) {
-    StatusOr<RegexPtr> regex =
-        ParseRegex(source, &edtd.types, /*intern_new_symbols=*/false);
-    if (!regex.ok()) return regex.status();
-    edtd.content.push_back(RegexToDfa(**regex, edtd.types.size()));
+    auto compile = [&]() -> StatusOr<Dfa> {
+      StatusOr<RegexPtr> regex =
+          ParseRegex(source, &edtd.types, /*intern_new_symbols=*/false);
+      if (!regex.ok()) return regex.status();
+      return RegexToDfa(**regex, edtd.types.size());
+    };
+    if (cache == nullptr) {
+      StatusOr<Dfa> dfa = compile();
+      if (!dfa.ok()) return dfa.status();
+      edtd.content.push_back(std::move(*dfa));
+    } else {
+      StatusOr<std::shared_ptr<const Dfa>> dfa =
+          cache->GetOrCompile(MakeContentModelKey(source, edtd.types), compile);
+      if (!dfa.ok()) return dfa.status();
+      edtd.content.push_back(**dfa);
+    }
   }
   edtd.CheckWellFormed();
   return edtd;

@@ -23,8 +23,17 @@
 
 namespace stap {
 
+class CompileCache;
+
 // Parses the textual format into an EDTD (not automatically reduced).
 StatusOr<Edtd> ParseSchema(std::string_view input);
+
+// As above, but memoizes content-model compilation (Glushkov →
+// determinize → minimize) through `cache`, so repeated loads of the same
+// schema — or of schemas sharing content models — compile each distinct
+// model once per process. A null cache compiles directly. Thread-safe
+// for concurrent calls sharing one cache.
+StatusOr<Edtd> ParseSchema(std::string_view input, CompileCache* cache);
 
 // The raw declarations of a schema file, before content compilation —
 // shared by the DFA-content (ParseSchema) and NFA-content

@@ -1,0 +1,290 @@
+// Concurrency tests for the compile cache and determinism tests for
+// parallel batch validation.
+//
+// The exactly-once contract is asserted through the cache.insert counter:
+// however many threads race on the same key set, the number of published
+// compilations equals the number of distinct keys. These tests run under
+// the ThreadSanitizer CI job, so a data race in the cache's entry state
+// machine or the batch sweep's verdict vector fails loudly there.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "stap/base/compile_cache.h"
+#include "stap/base/metrics.h"
+#include "stap/gen/random.h"
+#include "stap/io/artifact.h"
+#include "stap/io/batch_validate.h"
+#include "stap/schema/text_format.h"
+#include "stap/tree/xml.h"
+
+namespace stap {
+namespace {
+
+Alphabet TwoTypes() {
+  Alphabet types;
+  types.Intern("A");
+  types.Intern("B");
+  return types;
+}
+
+TEST(ContentModelKey, DistinguishesSourceAndAlphabet) {
+  Alphabet ab = TwoTypes();
+  Alphabet ba;
+  ba.Intern("B");
+  ba.Intern("A");
+  ContentModelKey k1 = MakeContentModelKey("A B*", ab);
+  ContentModelKey k2 = MakeContentModelKey("A B*", ba);
+  ContentModelKey k3 = MakeContentModelKey("A B *", ab);
+  EXPECT_EQ(k1.canonical, MakeContentModelKey("A B*", ab).canonical);
+  EXPECT_NE(k1.canonical, k2.canonical);  // same source, reordered alphabet
+  EXPECT_NE(k1.canonical, k3.canonical);  // different source text
+  // Length prefixing: no concatenation ambiguity between source and names.
+  Alphabet one;
+  one.Intern("AB");
+  EXPECT_NE(MakeContentModelKey("x", one).canonical,
+            MakeContentModelKey("x", ab).canonical);
+}
+
+TEST(CompileCache, HitMissInsertCounters) {
+  CompileCache cache(4);
+  Counter* hits = GetCounter("cache.hit");
+  Counter* misses = GetCounter("cache.miss");
+  Counter* inserts = GetCounter("cache.insert");
+  const int64_t hits0 = hits->value();
+  const int64_t misses0 = misses->value();
+  const int64_t inserts0 = inserts->value();
+
+  Alphabet types = TwoTypes();
+  ContentModelKey key = MakeContentModelKey("A*", types);
+  int compiles = 0;
+  auto compile = [&]() -> StatusOr<Dfa> {
+    ++compiles;
+    return Dfa::AllWords(types.size());
+  };
+
+  StatusOr<std::shared_ptr<const Dfa>> first = cache.GetOrCompile(key, compile);
+  ASSERT_TRUE(first.ok());
+  StatusOr<std::shared_ptr<const Dfa>> second =
+      cache.GetOrCompile(key, compile);
+  ASSERT_TRUE(second.ok());
+
+  EXPECT_EQ(compiles, 1);
+  EXPECT_EQ(*first, *second);  // the exact same shared_ptr
+  EXPECT_EQ(misses->value() - misses0, 1);
+  EXPECT_EQ(hits->value() - hits0, 1);
+  EXPECT_EQ(inserts->value() - inserts0, 1);
+  EXPECT_EQ(cache.size(), 1);
+}
+
+TEST(CompileCache, FailureIsReportedButNotCached) {
+  CompileCache cache(1);
+  Alphabet types = TwoTypes();
+  ContentModelKey key = MakeContentModelKey("B+", types);
+
+  StatusOr<std::shared_ptr<const Dfa>> failed = cache.GetOrCompile(
+      key, []() -> StatusOr<Dfa> {
+        return InvalidArgumentError("synthetic compile failure");
+      });
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(cache.size(), 0);  // failure was not latched
+
+  // A later request retries and can succeed.
+  StatusOr<std::shared_ptr<const Dfa>> retried = cache.GetOrCompile(
+      key, [&]() -> StatusOr<Dfa> { return Dfa::EpsilonOnly(types.size()); });
+  ASSERT_TRUE(retried.ok());
+  EXPECT_TRUE((*retried)->AcceptsEpsilon());
+  EXPECT_EQ(cache.size(), 1);
+}
+
+// The tentpole concurrency assertion: N threads hammer the same K keys;
+// exactly K compilations are published, every thread sees a usable DFA,
+// and every thread requesting the same key gets the same language.
+TEST(CompileCache, ConcurrentCompilationHappensExactlyOnce) {
+  constexpr int kThreads = 8;
+  constexpr int kKeys = 5;
+  constexpr int kRoundsPerThread = 40;
+
+  CompileCache cache(4);  // fewer shards than threads: real contention
+  Counter* inserts = GetCounter("cache.insert");
+  const int64_t inserts0 = inserts->value();
+
+  Alphabet types = TwoTypes();
+  std::vector<ContentModelKey> keys;
+  std::vector<std::string> sources;
+  for (int k = 0; k < kKeys; ++k) {
+    // Distinct sources: A, A A, A A A, ... (distinct languages too).
+    std::string source = "A";
+    for (int j = 0; j < k; ++j) source += " A";
+    sources.push_back(source);
+    keys.push_back(MakeContentModelKey(source, types));
+  }
+
+  std::atomic<int> compilations{0};
+  std::atomic<bool> mismatch{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::mt19937 rng(1234 + t);
+      for (int round = 0; round < kRoundsPerThread; ++round) {
+        const int k = static_cast<int>(rng() % kKeys);
+        auto compile = [&, k]() -> StatusOr<Dfa> {
+          compilations.fetch_add(1, std::memory_order_relaxed);
+          // Word A^{k+1}: a (k+2)-state chain.
+          Dfa dfa(k + 2, types.size());
+          for (int q = 0; q <= k; ++q) dfa.SetTransition(q, 0, q + 1);
+          dfa.SetFinal(k + 1);
+          return dfa;
+        };
+        StatusOr<std::shared_ptr<const Dfa>> dfa =
+            cache.GetOrCompile(keys[k], compile);
+        if (!dfa.ok()) {
+          mismatch.store(true);
+          continue;
+        }
+        // The returned DFA accepts exactly A^{k+1}.
+        Word word(static_cast<size_t>(k) + 1, 0);
+        if (!(*dfa)->Accepts(word) || (*dfa)->AcceptsEpsilon()) {
+          mismatch.store(true);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_FALSE(mismatch.load());
+  EXPECT_EQ(compilations.load(), kKeys);  // exactly once per key
+  EXPECT_EQ(inserts->value() - inserts0, kKeys);
+  EXPECT_EQ(cache.size(), kKeys);
+}
+
+// Concurrent ParseSchema calls sharing one cache agree with the uncached
+// parse, and the cache ends up with one entry per distinct content model.
+TEST(CompileCache, ConcurrentParseSchemaSharesCache) {
+  constexpr char kSource[] = R"(
+start Lib
+type Lib     : library -> Book*
+type Book    : book    -> Title Chapter+
+type Title   : title   -> %
+type Chapter : chapter -> (Section | %)
+type Section : section -> %
+)";
+  StatusOr<Edtd> reference = ParseSchema(kSource);
+  ASSERT_TRUE(reference.ok());
+  const std::string reference_text = SchemaToText(*reference);
+
+  CompileCache cache(2);
+  std::atomic<bool> disagreement{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < 10; ++round) {
+        StatusOr<Edtd> parsed = ParseSchema(kSource, &cache);
+        if (!parsed.ok() || SchemaToText(*parsed) != reference_text) {
+          disagreement.store(true);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_FALSE(disagreement.load());
+  // 5 types but 4 distinct content models ("%" appears twice).
+  EXPECT_EQ(cache.size(), 4);
+}
+
+TEST(CompileCache, ClearEmptiesTheCache) {
+  CompileCache cache(2);
+  Alphabet types = TwoTypes();
+  for (const char* source : {"A", "B", "A B"}) {
+    ASSERT_TRUE(cache
+                    .GetOrCompile(MakeContentModelKey(source, types),
+                                  [&]() -> StatusOr<Dfa> {
+                                    return Dfa::AllWords(types.size());
+                                  })
+                    .ok());
+  }
+  EXPECT_EQ(cache.size(), 3);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0);
+}
+
+// --- batch determinism -------------------------------------------------
+
+// The rendered batch report must be byte-identical whatever the job
+// count; documents are a seeded mix of valid samples, invalid mutations,
+// and malformed XML so every verdict kind is exercised.
+TEST(BatchValidate, ReportIsIdenticalAcrossJobCounts) {
+  constexpr char kSource[] = R"(
+start Lib
+type Lib     : library -> Book*
+type Book    : book    -> Title Chapter+
+type Title   : title   -> %
+type Chapter : chapter -> (Section | %)
+type Section : section -> %
+)";
+  StatusOr<CompiledSchema> schema = CompileSchema(kSource, nullptr);
+  ASSERT_TRUE(schema.ok());
+  ASSERT_TRUE(schema->single_type);
+
+  std::mt19937 rng(987654321);
+  std::vector<BatchDocument> documents;
+  for (int i = 0; i < 60; ++i) {
+    BatchDocument document;
+    document.name = "doc" + std::to_string(i) + ".xml";
+    auto tree = SampleTree(schema->xsd, &rng);
+    ASSERT_TRUE(tree.has_value());
+    document.xml = ToXml(*tree, schema->edtd.sigma);
+    switch (i % 4) {
+      case 0:  // valid, as sampled
+        break;
+      case 1:  // invalid: book missing its mandatory chapter
+        document.xml =
+            "<library><book><title/></book></library>";
+        break;
+      case 2:  // error: malformed XML
+        document.xml.resize(document.xml.size() / 2);
+        break;
+      case 3:  // error: unreadable input
+        document.read_error = "cannot open '" + document.name + "'";
+        break;
+    }
+    documents.push_back(std::move(document));
+  }
+
+  std::vector<std::string> reports;
+  for (int jobs : {1, 3, 8}) {
+    BatchOptions options;
+    options.jobs = jobs;
+    BatchResult result = BatchValidate(*schema, documents, options);
+    EXPECT_EQ(result.num_valid + result.num_invalid + result.num_errors, 60);
+    EXPECT_GE(result.num_valid, 1);
+    EXPECT_GE(result.num_invalid, 1);
+    EXPECT_GE(result.num_errors, 1);
+    reports.push_back(FormatBatchReport(documents, result));
+  }
+  EXPECT_EQ(reports[0], reports[1]);
+  EXPECT_EQ(reports[0], reports[2]);
+}
+
+TEST(BatchValidate, EmptyBatch) {
+  StatusOr<CompiledSchema> schema =
+      CompileSchema("start A\ntype A : a -> %\n", nullptr);
+  ASSERT_TRUE(schema.ok());
+  BatchOptions options;
+  options.jobs = 4;
+  BatchResult result = BatchValidate(*schema, {}, options);
+  EXPECT_TRUE(result.all_valid());
+  EXPECT_EQ(FormatBatchReport({}, result),
+            "0 documents: 0 valid, 0 invalid, 0 errors\n");
+}
+
+}  // namespace
+}  // namespace stap

@@ -1,6 +1,12 @@
 // stap — command-line front end for the library.
 //
-//   stap validate <schema> <doc.xml>     validate an XML document
+//   stap validate <schema> <doc...>      validate XML documents (the schema
+//                                        may be textual or a compiled
+//                                        artifact; many docs fan out over
+//                                        --jobs=N threads, report in input
+//                                        order)
+//   stap compile <schema> -o <artifact>  compile a schema to a binary
+//                                        artifact for the warm serving path
 //   stap check <schema>                  report schema properties
 //   stap minimize <schema>               canonical minimal XSD
 //   stap approx <schema>                 minimal upper XSD-approximation
@@ -23,6 +29,8 @@
 //                                        provenance table (sizes, wall ms)
 //
 // Global flags (accepted anywhere on the command line):
+//   --jobs=N             worker threads for batch validation (0 = one per
+//                        hardware thread; default 1)
 //   --budget-ms=N        wall-clock deadline for the command's kernels
 //   --max-states=N       cap on created automaton/product states
 //   --max-sets=N         cap on frontier/subset sets
@@ -52,7 +60,10 @@
 
 #include "stap/approx/inclusion.h"
 #include "stap/base/budget.h"
+#include "stap/base/compile_cache.h"
 #include "stap/base/metrics.h"
+#include "stap/io/artifact.h"
+#include "stap/io/batch_validate.h"
 #include "stap/base/trace.h"
 #include "stap/gen/families.h"
 #include "stap/approx/lower_check.h"
@@ -80,7 +91,10 @@ namespace {
 int Usage() {
   std::cerr
       << "usage: stap <command> <args>\n"
-         "  validate <schema> <doc.xml>   validate a document\n"
+         "  validate <schema> <doc...>    validate documents (schema text or\n"
+         "                                compiled artifact; many docs fan\n"
+         "                                out over --jobs=N threads)\n"
+         "  compile <schema> -o <file>    compile a schema to an artifact\n"
          "  check <schema>                report schema properties\n"
          "  minimize <schema>             canonical minimal XSD\n"
          "  approx <schema>               minimal upper XSD-approximation\n"
@@ -103,7 +117,7 @@ int Usage() {
          "                                theorem411; 43/411 ignore n)\n"
          "  explain <schema>              approximate and print a per-phase\n"
          "                                provenance table\n"
-         "global flags: --budget-ms=N --max-states=N --max-sets=N\n"
+         "global flags: --jobs=N --budget-ms=N --max-states=N --max-sets=N\n"
          "              --metrics-json[=file] --metrics-prom[=file]\n"
          "              --trace-json[=file]  (exit 3 = budget exhausted)\n";
   return 2;
@@ -139,6 +153,9 @@ struct GlobalOptions {
   std::string prom_path;  // empty or "-" = stderr
   bool trace = false;
   std::string trace_path;  // empty or "-" = stderr
+  // --jobs=N worker threads for batch validation; -1 = unset (serial,
+  // single-document compatibility mode), 0 = one per hardware thread.
+  int jobs = -1;
   // Session wrapping the whole command when --trace-json is given; also
   // borrowed by `explain` for its phase table so one recording serves both.
   std::unique_ptr<TraceSession> session;
@@ -178,6 +195,9 @@ bool ParseGlobalFlags(int argc, char** argv, std::vector<std::string>* args,
     } else if (arg.rfind("--max-sets=", 0) == 0) {
       if (!int_value(arg.substr(11), &value)) return false;
       budget()->set_max_sets(value);
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      if (!int_value(arg.substr(7), &value) || value > 1024) return false;
+      options->jobs = static_cast<int>(value);
     } else if (arg == "--metrics-json") {
       options->dump_metrics = true;
     } else if (arg.rfind("--metrics-json=", 0) == 0) {
@@ -241,23 +261,56 @@ int DumpTrace(GlobalOptions& options, int exit_code) {
                    "trace", exit_code);
 }
 
-int CmdValidate(const std::string& schema_path, const std::string& doc_path) {
-  StatusOr<Edtd> schema = LoadSchema(schema_path);
+// Loads a schema for the validation path: a compiled artifact is
+// deserialized as-is; textual schemas compile through the process-wide
+// content-model cache (so repeated invocations in one process — and the
+// batch tests — share compilations).
+StatusOr<CompiledSchema> LoadCompiledSchema(const std::string& path) {
+  StatusOr<std::string> bytes = ReadFile(path);
+  if (!bytes.ok()) return bytes.status();
+  if (LooksLikeArtifact(*bytes)) return DeserializeArtifact(*bytes);
+  return CompileSchema(*bytes, CompileCache::Global());
+}
+
+int CmdCompile(const std::vector<std::string>& argv) {
+  // compile <schema> -o <artifact>
+  if (argv.size() != 5 || argv[3] != "-o") return Usage();
+  StatusOr<std::string> text = ReadFile(argv[2]);
+  if (!text.ok()) return Fail(text.status());
+  if (LooksLikeArtifact(*text)) {
+    return Fail(InvalidArgumentError("'" + argv[2] +
+                                     "' is already a compiled artifact"));
+  }
+  StatusOr<CompiledSchema> schema =
+      CompileSchema(*text, CompileCache::Global());
   if (!schema.ok()) return Fail(schema.status());
-  Edtd reduced = ReduceEdtd(*schema);
+  const std::string bytes = SerializeArtifact(*schema);
+  std::ofstream out(argv[4], std::ios::binary);
+  if (!out || !(out << bytes) || !out.flush()) {
+    return Fail(InternalError("cannot write artifact to '" + argv[4] + "'"));
+  }
+  std::cout << "compiled " << argv[2] << ": " << schema->edtd.num_types()
+            << " types, single-type "
+            << (schema->single_type ? "yes" : "no") << ", " << bytes.size()
+            << " bytes -> " << argv[4] << "\n";
+  return 0;
+}
+
+// Single-document validation, output-compatible with the historical
+// `stap validate <schema> <doc.xml>`.
+int ValidateSingle(const CompiledSchema& schema, const std::string& doc_path) {
   StatusOr<std::string> xml = ReadFile(doc_path);
   if (!xml.ok()) return Fail(xml.status());
-  Alphabet alphabet = reduced.sigma;
+  Alphabet alphabet = schema.edtd.sigma;
   StatusOr<Tree> document = ParseXml(*xml, &alphabet);
   if (!document.ok()) return Fail(document.status());
-  if (alphabet.size() != reduced.sigma.size()) {
+  if (alphabet.size() != schema.edtd.sigma.size()) {
     std::cout << "INVALID: document uses elements the schema does not "
                  "declare\n";
     return 1;
   }
-  if (IsSingleType(reduced)) {
-    DfaXsd xsd = DfaXsdFromStEdtd(reduced);
-    ValidationResult result = ValidateWithDiagnostics(xsd, *document);
+  if (schema.single_type) {
+    ValidationResult result = ValidateWithDiagnostics(schema.xsd, *document);
     if (result.ok) {
       std::cout << "VALID\n";
       return 0;
@@ -265,9 +318,41 @@ int CmdValidate(const std::string& schema_path, const std::string& doc_path) {
     std::cout << "INVALID: " << result.message << "\n";
     return 1;
   }
-  bool ok = reduced.Accepts(*document);
+  bool ok = schema.edtd.Accepts(*document);
   std::cout << (ok ? "VALID\n" : "INVALID\n");
   return ok ? 0 : 1;
+}
+
+int CmdValidate(const std::vector<std::string>& argv,
+                const GlobalOptions& options) {
+  StatusOr<CompiledSchema> schema = LoadCompiledSchema(argv[2]);
+  if (!schema.ok()) return Fail(schema.status());
+  if (argv.size() == 4 && options.jobs < 0) {
+    return ValidateSingle(*schema, argv[3]);
+  }
+  // Batch mode: one status line per document, in input order, plus a
+  // summary — byte-identical output whatever the job count.
+  std::vector<BatchDocument> documents;
+  documents.reserve(argv.size() - 3);
+  for (size_t i = 3; i < argv.size(); ++i) {
+    BatchDocument doc;
+    doc.name = argv[i];
+    StatusOr<std::string> xml = ReadFile(argv[i]);
+    if (xml.ok()) {
+      doc.xml = std::move(*xml);
+    } else {
+      // An unreadable file surfaces as a per-document ERROR line, not a
+      // whole-batch failure.
+      doc.read_error = xml.status().message();
+    }
+    documents.push_back(std::move(doc));
+  }
+  BatchOptions batch_options;
+  batch_options.jobs = options.jobs < 0 ? 1 : options.jobs;
+  batch_options.budget = options.budget_ptr();
+  BatchResult result = BatchValidate(*schema, documents, batch_options);
+  std::cout << FormatBatchReport(documents, result);
+  return result.all_valid() ? 0 : 1;
 }
 
 int CmdCheck(const std::string& schema_path) {
@@ -381,9 +466,10 @@ int RunCommand(const std::vector<std::string>& argv, GlobalOptions& options) {
     return d1->ok() && d2->ok();
   };
 
-  if (command == "validate" && argc == 4) {
-    return CmdValidate(argv[2], argv[3]);
+  if (command == "validate" && argc >= 4) {
+    return CmdValidate(argv, options);
   }
+  if (command == "compile") return CmdCompile(argv);
   if (command == "check" && argc == 3) return CmdCheck(argv[2]);
   if (command == "minimize" && argc == 3) {
     StatusOr<Edtd> schema = LoadSchema(argv[2]);
