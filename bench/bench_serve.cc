@@ -1,0 +1,365 @@
+// Load generator for the `stap serve` daemon.
+//
+// Phase 1 (throughput): N client threads each hold one connection and
+// keep a pipeline window of validate requests in flight against a warm
+// registered schema; per-request latency is sampled send-to-receive and
+// reported as quantiles, throughput as docs/sec over the measured wall
+// time. Phase 2 (stampede): K fresh connections all reference the same
+// cold inline schema at once; the run asserts the compile cache
+// published exactly one compilation per content model (cache.insert
+// delta) and that every request succeeded — the exactly-once stampede
+// guard, measured rather than assumed.
+//
+// By default the server runs in-process on an ephemeral port (the whole
+// bench is self-contained, which is what the CI smoke wants). Point it
+// at an external daemon with --port/--host, in which case the stampede
+// cache assertion is skipped (the cache lives in the daemon's process).
+//
+//   bench_serve [--clients=N] [--requests=N] [--pipeline=W]
+//               [--stampede-clients=K] [--no-stampede] [--schema=REF]
+//               [--host=H --port=P] [--json=FILE]
+//
+// --benchmark_* flags are accepted and ignored so the CI loop that
+// smoke-runs every binary in build/bench/ can pass its usual arguments.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "stap/base/compile_cache.h"
+#include "stap/base/metrics.h"
+#include "stap/io/artifact.h"
+#include "stap/serve/client.h"
+#include "stap/serve/server.h"
+
+namespace stap {
+namespace {
+
+constexpr const char kBenchSchema[] =
+    "start Lib\n"
+    "type Lib     : library -> Book*\n"
+    "type Book    : book    -> Title Chapter+\n"
+    "type Title   : title   -> %\n"
+    "type Chapter : chapter -> (Section | %)\n"
+    "type Section : section -> %\n";
+
+constexpr const char kBenchDocument[] =
+    "<library><book><title/><chapter/><chapter><section/></chapter></book>"
+    "</library>";
+
+// A distinct schema (same shape, different type names) for the stampede
+// phase, so its content models are cold even after the warm-up phase.
+constexpr const char kStampedeSchema[] =
+    "start Shelf\n"
+    "type Shelf   : shelf   -> Tome*\n"
+    "type Tome    : tome    -> Leaf+\n"
+    "type Leaf    : leaf    -> %\n";
+
+constexpr const char kStampedeDocument[] = "<shelf><tome><leaf/></tome></shelf>";
+
+struct Config {
+  std::string host = "127.0.0.1";
+  int port = 0;  // 0 = spawn the server in-process
+  int clients = 4;
+  int requests = 2000;  // per client
+  int pipeline = 32;
+  int stampede_clients = 32;
+  bool stampede = true;
+  std::string json_path;
+  // Schema ref for throughput requests. The in-process server registers
+  // the bench schema as "@bench"; point this at an external daemon's
+  // schema (e.g. --schema=@lib) when using --port.
+  std::string schema_ref = "@bench";
+};
+
+struct ClientStats {
+  std::vector<double> latencies_us;
+  int64_t ok = 0;
+  int64_t failed = 0;
+};
+
+// Releases all load threads at once so the measured window starts with
+// every connection established.
+class StartGate {
+ public:
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return open_; });
+  }
+  void Open() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+void RunClient(const Config& config, int thread_index, StartGate* gate,
+               ClientStats* stats) {
+  ServeClient client;
+  if (!client.Connect(config.host, config.port).ok()) {
+    stats->failed = config.requests;
+    return;
+  }
+  gate->Wait();
+  using Clock = std::chrono::steady_clock;
+  std::vector<Clock::time_point> sent(
+      static_cast<size_t>(config.requests));
+  stats->latencies_us.reserve(config.requests);
+  int next_send = 0;
+  int next_receive = 0;
+  const uint64_t id_base =
+      static_cast<uint64_t>(thread_index) * 1000000ull;
+  while (next_receive < config.requests) {
+    while (next_send < config.requests &&
+           next_send - next_receive < config.pipeline) {
+      ServeRequest request;
+      request.id = id_base + static_cast<uint64_t>(next_send);
+      request.op = Opcode::kValidate;
+      request.schema_ref = config.schema_ref;
+      request.payload = kBenchDocument;
+      sent[next_send] = Clock::now();
+      if (!client.Send(request).ok()) {
+        stats->failed += config.requests - next_receive;
+        return;
+      }
+      ++next_send;
+    }
+    StatusOr<ServeResponse> response = client.Receive();
+    if (!response.ok()) {
+      stats->failed += config.requests - next_receive;
+      return;
+    }
+    const double us = std::chrono::duration<double, std::micro>(
+                          Clock::now() - sent[next_receive])
+                          .count();
+    stats->latencies_us.push_back(us);
+    if (response->code == ResponseCode::kOk) {
+      ++stats->ok;
+    } else {
+      ++stats->failed;
+    }
+    ++next_receive;
+  }
+}
+
+double Quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const size_t index = static_cast<size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+bool ParseIntFlag(const std::string& arg, const char* prefix, int* out) {
+  if (arg.rfind(prefix, 0) != 0) return false;
+  const std::string text = arg.substr(std::strlen(prefix));
+  char* end = nullptr;
+  long parsed = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || parsed < 0 ||
+      parsed > 1000000000) {
+    std::cerr << "bad flag value: " << arg << "\n";
+    std::exit(2);
+  }
+  *out = static_cast<int>(parsed);
+  return true;
+}
+
+int Main(int argc, char** argv) {
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (ParseIntFlag(arg, "--port=", &config.port) ||
+        ParseIntFlag(arg, "--clients=", &config.clients) ||
+        ParseIntFlag(arg, "--requests=", &config.requests) ||
+        ParseIntFlag(arg, "--pipeline=", &config.pipeline) ||
+        ParseIntFlag(arg, "--stampede-clients=", &config.stampede_clients)) {
+      continue;
+    }
+    if (arg.rfind("--host=", 0) == 0) {
+      config.host = arg.substr(7);
+    } else if (arg == "--no-stampede") {
+      config.stampede = false;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      config.json_path = arg.substr(7);
+    } else if (arg.rfind("--schema=", 0) == 0) {
+      config.schema_ref = arg.substr(9);
+    } else if (arg.rfind("--benchmark_", 0) == 0) {
+      // Ignored: lets the generic bench smoke loop pass its flags.
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return 2;
+    }
+  }
+  config.pipeline = std::max(config.pipeline, 1);
+
+  // In-process server unless --port points elsewhere.
+  std::unique_ptr<Server> server;
+  const bool in_process = config.port == 0;
+  if (in_process) {
+    ServeOptions options;
+    options.port = 0;
+    options.max_connections =
+        config.clients + config.stampede_clients + 8;
+    server = std::make_unique<Server>(std::move(options));
+    Status started = server->Start();
+    if (!started.ok()) {
+      std::cerr << "cannot start in-process server: " << started << "\n";
+      return 1;
+    }
+    StatusOr<CompiledSchema> bench =
+        CompileSchema(kBenchSchema, CompileCache::Global());
+    if (!bench.ok()) {
+      std::cerr << "cannot compile the bench schema: " << bench.status()
+                << "\n";
+      return 1;
+    }
+    SchemaMap schemas;
+    schemas["bench"] =
+        std::make_shared<const CompiledSchema>(std::move(*bench));
+    server->registry()->Swap(std::move(schemas));
+    config.port = server->port();
+  }
+
+  // --- phase 1: pipelined throughput -------------------------------
+  std::vector<ClientStats> stats(config.clients);
+  std::vector<std::thread> threads;
+  StartGate gate;
+  threads.reserve(config.clients);
+  for (int c = 0; c < config.clients; ++c) {
+    threads.emplace_back(RunClient, std::cref(config), c, &gate, &stats[c]);
+  }
+  using Clock = std::chrono::steady_clock;
+  gate.Open();
+  const Clock::time_point start = Clock::now();
+  for (std::thread& thread : threads) thread.join();
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  std::vector<double> latencies;
+  int64_t ok = 0;
+  int64_t failed = 0;
+  for (const ClientStats& s : stats) {
+    latencies.insert(latencies.end(), s.latencies_us.begin(),
+                     s.latencies_us.end());
+    ok += s.ok;
+    failed += s.failed;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  double sum = 0;
+  for (double us : latencies) sum += us;
+  const double docs_per_sec =
+      seconds > 0 ? static_cast<double>(ok + failed) / seconds : 0;
+
+  // --- phase 2: cold compile stampede ------------------------------
+  int64_t stampede_ok = 0;
+  int64_t stampede_failed = 0;
+  int64_t stampede_inserts = 0;
+  const bool run_stampede = config.stampede && config.stampede_clients > 0;
+  if (run_stampede) {
+    Counter* inserts = GetCounter("cache.insert");
+    const int64_t inserts0 = inserts->value();
+    std::atomic<int64_t> s_ok{0};
+    std::atomic<int64_t> s_failed{0};
+    StartGate stampede_gate;
+    std::vector<std::thread> herd;
+    herd.reserve(config.stampede_clients);
+    for (int c = 0; c < config.stampede_clients; ++c) {
+      herd.emplace_back([&, c] {
+        ServeClient client;
+        if (!client.Connect(config.host, config.port).ok()) {
+          s_failed.fetch_add(1);
+          return;
+        }
+        stampede_gate.Wait();
+        ServeRequest request;
+        request.id = 5000000ull + static_cast<uint64_t>(c);
+        request.op = Opcode::kValidate;
+        request.schema_ref = kStampedeSchema;  // inline text: cold compile
+        request.payload = kStampedeDocument;
+        StatusOr<ServeResponse> response = client.Call(request);
+        if (response.ok() && response->code == ResponseCode::kOk) {
+          s_ok.fetch_add(1);
+        } else {
+          s_failed.fetch_add(1);
+        }
+      });
+    }
+    stampede_gate.Open();
+    for (std::thread& thread : herd) thread.join();
+    stampede_ok = s_ok.load();
+    stampede_failed = s_failed.load();
+    stampede_inserts = inserts->value() - inserts0;
+  }
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"clients\": " << config.clients << ",\n"
+       << "  \"requests_per_client\": " << config.requests << ",\n"
+       << "  \"pipeline\": " << config.pipeline << ",\n"
+       << "  \"wall_seconds\": " << seconds << ",\n"
+       << "  \"docs_per_sec\": " << docs_per_sec << ",\n"
+       << "  \"ok\": " << ok << ",\n"
+       << "  \"failed\": " << failed << ",\n"
+       << "  \"latency_us\": {\"mean\": "
+       << (latencies.empty() ? 0 : sum / static_cast<double>(latencies.size()))
+       << ", \"p50\": " << Quantile(latencies, 0.5)
+       << ", \"p90\": " << Quantile(latencies, 0.9)
+       << ", \"p99\": " << Quantile(latencies, 0.99)
+       << ", \"max\": " << (latencies.empty() ? 0 : latencies.back())
+       << "},\n"
+       << "  \"stampede\": {\"clients\": "
+       << (run_stampede ? config.stampede_clients : 0)
+       << ", \"ok\": " << stampede_ok << ", \"failed\": " << stampede_failed
+       << ", \"cache_inserts\": " << stampede_inserts << "}\n"
+       << "}\n";
+  std::cout << json.str();
+  if (!config.json_path.empty()) {
+    std::ofstream out(config.json_path);
+    if (!out || !(out << json.str())) {
+      std::cerr << "cannot write " << config.json_path << "\n";
+      return 1;
+    }
+  }
+
+  if (server != nullptr) server->Stop();
+
+  if (failed != 0) {
+    std::cerr << "FAIL: " << failed << " throughput requests failed\n";
+    return 1;
+  }
+  if (run_stampede) {
+    if (stampede_failed != 0) {
+      std::cerr << "FAIL: " << stampede_failed << " stampede requests failed\n";
+      return 1;
+    }
+    // The stampede schema has 3 content models; exactly-once means
+    // exactly 3 cache publications however many clients raced. Only
+    // assertable when the cache lives in this process.
+    if (in_process && stampede_inserts != 3) {
+      std::cerr << "FAIL: stampede published " << stampede_inserts
+                << " compilations, expected exactly 3\n";
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace stap
+
+int main(int argc, char** argv) { return stap::Main(argc, argv); }

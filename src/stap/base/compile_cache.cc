@@ -66,28 +66,35 @@ StatusOr<std::shared_ptr<const Dfa>> CompileCache::GetOrCompile(
   static Counter* const hits = GetCounter("cache.hit");
   static Counter* const misses = GetCounter("cache.miss");
   static Counter* const inserts = GetCounter("cache.insert");
+  static Counter* const retries = GetCounter("cache.retry");
 
   Shard& shard = ShardFor(key.hash);
   std::shared_ptr<Entry> entry;
   bool owner = false;
-  {
-    std::lock_guard<std::mutex> lock(shard.mutex);
-    auto it = shard.map.find(key.canonical);
-    if (it == shard.map.end()) {
-      entry = std::make_shared<Entry>();
-      shard.map.emplace(key.canonical, entry);
-      owner = true;
-    } else {
-      entry = it->second;
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      auto it = shard.map.find(key.canonical);
+      if (it == shard.map.end()) {
+        entry = std::make_shared<Entry>();
+        shard.map.emplace(key.canonical, entry);
+        owner = true;
+      } else {
+        entry = it->second;
+      }
     }
-  }
+    if (owner) break;
 
-  if (!owner) {
     hits->Increment();
     std::unique_lock<std::mutex> lock(entry->mutex);
     entry->cv.wait(lock, [&] { return entry->done; });
-    if (!entry->status.ok()) return entry->status;
-    return entry->value;
+    if (entry->status.ok()) return entry->value;
+    // The owner's compilation failed. Its failure may be specific to the
+    // owner (a tight per-request budget that ran out mid-compile), so
+    // inheriting it would poison every concurrent request for this
+    // content model. The owner un-published the entry before waking us;
+    // re-enter the lookup and compile with our own resources instead.
+    retries->Increment();
   }
 
   misses->Increment();

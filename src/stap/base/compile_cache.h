@@ -15,16 +15,21 @@
 // shard; exact equality on the canonical string resolves hash collisions,
 // so a collision can never serve the wrong DFA.
 //
-// Failure is not cached: a compilation that returns an error (budget
-// exhaustion, parse error) reports that error to every thread waiting on
-// the in-flight entry and then removes the entry, so a later request
-// retries instead of latching the failure forever.
+// Failure is not cached, and it is not inherited either: a compilation
+// that returns an error (budget exhaustion, parse error) is reported to
+// the owner that ran it, the entry is removed, and every thread that was
+// blocked on the in-flight entry re-enters the lookup and compiles with
+// its own resources. A transient failure — one request's tight budget
+// running out mid-compile — therefore cannot poison concurrent requests
+// for the same content model; each caller only ever observes its own
+// compiler's verdict.
 //
 // Instrumentation: `cache.hit` counts lookups that found an entry
 // (ready or in-flight), `cache.miss` lookups that had to start a
-// compilation, and `cache.insert` compiled values actually published —
-// so `cache.insert` equals the number of distinct keys ever compiled,
-// which the concurrency tests assert.
+// compilation, `cache.insert` compiled values actually published — so
+// `cache.insert` equals the number of distinct keys ever compiled, which
+// the concurrency tests assert — and `cache.retry` waiters that observed
+// an owner failure and re-entered the lookup.
 #ifndef STAP_BASE_COMPILE_CACHE_H_
 #define STAP_BASE_COMPILE_CACHE_H_
 
@@ -68,9 +73,11 @@ class CompileCache {
   CompileCache& operator=(const CompileCache&) = delete;
 
   // Returns the DFA for `key`, invoking `compile` exactly once per key
-  // across all threads. Concurrent callers for the same key block until
-  // the first caller's compilation finishes and then share its result
-  // (or its error).
+  // across all threads while compilation succeeds. Concurrent callers
+  // for the same key block until the first caller's compilation finishes
+  // and then share its result; if that compilation fails, each blocked
+  // caller retries the lookup (typically becoming the new owner) so a
+  // non-OK return always reflects the caller's own `compile`.
   StatusOr<std::shared_ptr<const Dfa>> GetOrCompile(const ContentModelKey& key,
                                                     const Compiler& compile);
 

@@ -11,29 +11,36 @@
 
 namespace stap {
 
-namespace {
-
-DocumentVerdict ValidateOne(const CompiledSchema& schema,
-                            const BatchDocument& document, Budget* budget) {
+DocumentVerdict ValidateDocument(const CompiledSchema& schema,
+                                 std::string_view xml, Budget* budget) {
   DocumentVerdict verdict;
-  if (!document.read_error.empty()) {
-    verdict.kind = DocumentVerdict::Kind::kError;
-    verdict.message = document.read_error;
-    return verdict;
-  }
   Status deadline = Budget::CheckDeadline(budget);
   if (!deadline.ok()) {
     verdict.kind = DocumentVerdict::Kind::kError;
     verdict.message = deadline.message();
+    verdict.error_code = deadline.code();
     return verdict;
   }
   // Per-document alphabet copy: ParseXml interns new names, and the
   // shared schema must stay immutable under the sweep.
   Alphabet alphabet = schema.edtd.sigma;
-  StatusOr<Tree> tree = ParseXml(document.xml, &alphabet);
+  StatusOr<Tree> tree = ParseXml(xml, &alphabet);
   if (!tree.ok()) {
     verdict.kind = DocumentVerdict::Kind::kError;
     verdict.message = tree.status().message();
+    verdict.error_code = tree.status().code();
+    return verdict;
+  }
+  // The pre-parse deadline check alone lets one huge document blow the
+  // shared deadline unboundedly: charge the tree against the state quota
+  // and re-sample the clock before walking it, so an oversized document
+  // is cut off here instead of after an arbitrarily long validation.
+  Status charged = Budget::ChargeStates(budget, tree->NumNodes());
+  if (charged.ok()) charged = Budget::CheckDeadline(budget);
+  if (!charged.ok()) {
+    verdict.kind = DocumentVerdict::Kind::kError;
+    verdict.message = charged.message();
+    verdict.error_code = charged.code();
     return verdict;
   }
   if (alphabet.size() != schema.edtd.sigma.size()) {
@@ -53,6 +60,20 @@ DocumentVerdict ValidateOne(const CompiledSchema& schema,
       ok ? DocumentVerdict::Kind::kValid : DocumentVerdict::Kind::kInvalid;
   if (!ok) verdict.message = "document not in the schema language";
   return verdict;
+}
+
+namespace {
+
+DocumentVerdict ValidateOne(const CompiledSchema& schema,
+                            const BatchDocument& document, Budget* budget) {
+  if (!document.read_error.empty()) {
+    DocumentVerdict verdict;
+    verdict.kind = DocumentVerdict::Kind::kError;
+    verdict.message = document.read_error;
+    verdict.error_code = StatusCode::kNotFound;
+    return verdict;
+  }
+  return ValidateDocument(schema, document.xml, budget);
 }
 
 }  // namespace
@@ -95,6 +116,7 @@ BatchResult BatchValidate(const CompiledSchema& schema,
     }
   }
   GetCounter("batch.documents")->Increment(n);
+  GetCounter("batch.valid")->Increment(result.num_valid);
   GetCounter("batch.invalid")->Increment(result.num_invalid);
   GetCounter("batch.errors")->Increment(result.num_errors);
   return result;

@@ -11,6 +11,7 @@
 #define STAP_IO_BATCH_VALIDATE_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "stap/base/budget.h"
@@ -35,6 +36,10 @@ struct DocumentVerdict {
   };
   Kind kind = Kind::kError;
   std::string message;  // detail for kInvalid / kError, empty for kValid
+  // The Status code behind a kError verdict (kResourceExhausted for a
+  // tripped budget, kInvalidArgument for a malformed document, ...), so
+  // callers like `stap serve` can map errors without string matching.
+  StatusCode error_code = StatusCode::kOk;
 };
 
 struct BatchResult {
@@ -54,6 +59,15 @@ struct BatchOptions {
   // report kError instead of validating.
   Budget* budget = nullptr;
 };
+
+// Validates one document. Thread-safe: the schema is only read; the
+// parse interns into a private alphabet copy. The budget is checked
+// before the parse, charged one state per tree node after it, and the
+// deadline is re-sampled before validation, so a single oversized
+// document cannot overrun a shared deadline unboundedly. Shared by the
+// batch sweep below and the `stap serve` request path.
+DocumentVerdict ValidateDocument(const CompiledSchema& schema,
+                                 std::string_view xml, Budget* budget);
 
 // Validates every document against `schema`. Thread-safe: the schema is
 // only read; each worker keeps its own alphabet copy for interning.

@@ -1,0 +1,82 @@
+#include "stap/serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace stap {
+
+Status ServeClient::Connect(const std::string& host, int port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return InternalError(std::string("socket failed: ") +
+                         std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return InvalidArgumentError("cannot parse address '" + host + "'");
+  }
+  int rc;
+  do {
+    rc = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    Status status = InternalError("cannot connect to " + host + ":" +
+                                  std::to_string(port) + ": " +
+                                  std::strerror(errno));
+    Close();
+    return status;
+  }
+  int nodelay = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+  Status preamble = WriteAll(fd_, std::string_view(kServePreamble, 4));
+  if (!preamble.ok()) Close();
+  return preamble;
+}
+
+Status ServeClient::Send(const ServeRequest& request) {
+  if (fd_ < 0) return FailedPreconditionError("client not connected");
+  return WriteAll(fd_, EncodeRequestFrame(request));
+}
+
+StatusOr<ServeResponse> ServeClient::Receive() {
+  if (fd_ < 0) return FailedPreconditionError("client not connected");
+  StatusOr<std::string> body = ReadFrameBody(fd_, max_frame_bytes_);
+  if (!body.ok()) return body.status();
+  return DecodeResponseBody(*body);
+}
+
+StatusOr<ServeResponse> ServeClient::Call(const ServeRequest& request) {
+  STAP_RETURN_IF_ERROR(Send(request));
+  StatusOr<ServeResponse> response = Receive();
+  if (!response.ok()) return response;
+  if (response->id != request.id && response->id != 0) {
+    return InternalError("response id " + std::to_string(response->id) +
+                         " does not match request id " +
+                         std::to_string(request.id));
+  }
+  return response;
+}
+
+Status ServeClient::SendRaw(std::string_view bytes) {
+  if (fd_ < 0) return FailedPreconditionError("client not connected");
+  return WriteAll(fd_, bytes);
+}
+
+void ServeClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace stap

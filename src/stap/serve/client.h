@@ -1,0 +1,55 @@
+// A small blocking client for the stap serve binary protocol, used by
+// the integration tests and the bench_serve load generator.
+//
+// Send/Receive are split so callers can pipeline: write a window of
+// requests before reading the first response. Responses come back in
+// request order on a connection (the server processes a connection
+// serially), so no id matching is needed for pipelined use — but ids are
+// echoed, and Call() asserts the echo.
+#ifndef STAP_SERVE_CLIENT_H_
+#define STAP_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "stap/base/status.h"
+#include "stap/serve/protocol.h"
+
+namespace stap {
+
+class ServeClient {
+ public:
+  ServeClient() = default;
+  ~ServeClient() { Close(); }
+
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  // Connects and sends the binary-protocol preamble.
+  Status Connect(const std::string& host, int port);
+
+  bool connected() const { return fd_ >= 0; }
+
+  // Writes one request frame.
+  Status Send(const ServeRequest& request);
+
+  // Reads one response frame.
+  StatusOr<ServeResponse> Receive();
+
+  // Send + Receive, checking the echoed id matches.
+  StatusOr<ServeResponse> Call(const ServeRequest& request);
+
+  // Writes raw bytes on the socket (tests use this to inject malformed
+  // frames past the codec).
+  Status SendRaw(std::string_view bytes);
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  size_t max_frame_bytes_ = kDefaultMaxFrameBytes;
+};
+
+}  // namespace stap
+
+#endif  // STAP_SERVE_CLIENT_H_

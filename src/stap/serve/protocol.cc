@@ -1,0 +1,240 @@
+#include "stap/serve/protocol.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace stap {
+
+namespace {
+
+void AppendU32(std::string* out, uint32_t value) {
+  for (int b = 0; b < 4; ++b) {
+    out->push_back(static_cast<char>((value >> (8 * b)) & 0xff));
+  }
+}
+
+void AppendU64(std::string* out, uint64_t value) {
+  for (int b = 0; b < 8; ++b) {
+    out->push_back(static_cast<char>((value >> (8 * b)) & 0xff));
+  }
+}
+
+void AppendBytes(std::string* out, std::string_view bytes) {
+  AppendU32(out, static_cast<uint32_t>(bytes.size()));
+  out->append(bytes);
+}
+
+// Cursor over a frame body; every read validates against the bytes
+// actually remaining, so a hostile inner length cannot over-read or
+// force an oversized allocation.
+class BodyReader {
+ public:
+  explicit BodyReader(std::string_view bytes) : bytes_(bytes) {}
+
+  Status ReadU32(uint32_t* out) {
+    if (bytes_.size() - pos_ < 4) return Truncated("u32");
+    uint32_t value = 0;
+    for (int b = 0; b < 4; ++b) {
+      value |= static_cast<uint32_t>(
+                   static_cast<unsigned char>(bytes_[pos_ + b]))
+               << (8 * b);
+    }
+    pos_ += 4;
+    *out = value;
+    return Status();
+  }
+
+  Status ReadU64(uint64_t* out) {
+    if (bytes_.size() - pos_ < 8) return Truncated("u64");
+    uint64_t value = 0;
+    for (int b = 0; b < 8; ++b) {
+      value |= static_cast<uint64_t>(
+                   static_cast<unsigned char>(bytes_[pos_ + b]))
+               << (8 * b);
+    }
+    pos_ += 8;
+    *out = value;
+    return Status();
+  }
+
+  Status ReadU8(uint8_t* out) {
+    if (bytes_.size() - pos_ < 1) return Truncated("u8");
+    *out = static_cast<unsigned char>(bytes_[pos_++]);
+    return Status();
+  }
+
+  Status ReadBytes(std::string* out) {
+    uint32_t length = 0;
+    STAP_RETURN_IF_ERROR(ReadU32(&length));
+    if (bytes_.size() - pos_ < length) return Truncated("byte string");
+    out->assign(bytes_.substr(pos_, length));
+    pos_ += length;
+    return Status();
+  }
+
+  Status ExpectDone() const {
+    if (pos_ == bytes_.size()) return Status();
+    return InvalidArgumentError("frame body has " +
+                                std::to_string(bytes_.size() - pos_) +
+                                " trailing bytes");
+  }
+
+ private:
+  Status Truncated(const char* what) const {
+    return InvalidArgumentError(std::string("frame body truncated reading ") +
+                                what);
+  }
+
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+const char* ResponseCodeName(ResponseCode code) {
+  switch (code) {
+    case ResponseCode::kOk:
+      return "OK";
+    case ResponseCode::kInvalid:
+      return "INVALID";
+    case ResponseCode::kError:
+      return "ERROR";
+    case ResponseCode::kBusy:
+      return "BUSY";
+    case ResponseCode::kExhausted:
+      return "EXHAUSTED";
+    case ResponseCode::kNotFound:
+      return "NOT_FOUND";
+  }
+  return "UNKNOWN";
+}
+
+std::string EncodeRequestFrame(const ServeRequest& request) {
+  std::string body;
+  body.reserve(8 + 1 + 8 + request.schema_ref.size() +
+               request.payload.size());
+  AppendU64(&body, request.id);
+  body.push_back(static_cast<char>(request.op));
+  AppendBytes(&body, request.schema_ref);
+  AppendBytes(&body, request.payload);
+  std::string frame;
+  frame.reserve(4 + body.size());
+  AppendU32(&frame, static_cast<uint32_t>(body.size()));
+  frame.append(body);
+  return frame;
+}
+
+std::string EncodeResponseFrame(const ServeResponse& response) {
+  std::string body;
+  body.reserve(8 + 1 + 4 + response.body.size());
+  AppendU64(&body, response.id);
+  body.push_back(static_cast<char>(response.code));
+  AppendBytes(&body, response.body);
+  std::string frame;
+  frame.reserve(4 + body.size());
+  AppendU32(&frame, static_cast<uint32_t>(body.size()));
+  frame.append(body);
+  return frame;
+}
+
+StatusOr<ServeRequest> DecodeRequestBody(std::string_view body) {
+  BodyReader reader(body);
+  ServeRequest request;
+  uint8_t op = 0;
+  STAP_RETURN_IF_ERROR(reader.ReadU64(&request.id));
+  STAP_RETURN_IF_ERROR(reader.ReadU8(&op));
+  if (op < static_cast<uint8_t>(Opcode::kValidate) ||
+      op > static_cast<uint8_t>(Opcode::kPing)) {
+    return InvalidArgumentError("unknown opcode " + std::to_string(op));
+  }
+  request.op = static_cast<Opcode>(op);
+  STAP_RETURN_IF_ERROR(reader.ReadBytes(&request.schema_ref));
+  STAP_RETURN_IF_ERROR(reader.ReadBytes(&request.payload));
+  STAP_RETURN_IF_ERROR(reader.ExpectDone());
+  return request;
+}
+
+StatusOr<ServeResponse> DecodeResponseBody(std::string_view body) {
+  BodyReader reader(body);
+  ServeResponse response;
+  uint8_t code = 0;
+  STAP_RETURN_IF_ERROR(reader.ReadU64(&response.id));
+  STAP_RETURN_IF_ERROR(reader.ReadU8(&code));
+  if (code > static_cast<uint8_t>(ResponseCode::kNotFound)) {
+    return InvalidArgumentError("unknown response code " +
+                                std::to_string(code));
+  }
+  response.code = static_cast<ResponseCode>(code);
+  STAP_RETURN_IF_ERROR(reader.ReadBytes(&response.body));
+  STAP_RETURN_IF_ERROR(reader.ExpectDone());
+  return response;
+}
+
+Status WriteAll(int fd, std::string_view bytes) {
+  size_t written = 0;
+  while (written < bytes.size()) {
+    ssize_t n = ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return InternalError(std::string("write failed: ") +
+                           std::strerror(errno));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status();
+}
+
+namespace {
+
+// Reads exactly n bytes. `*clean_eof` is set when the peer closed before
+// the first byte (only meaningful when it was passed non-null).
+Status ReadExact(int fd, char* buf, size_t n, bool* clean_eof) {
+  size_t got = 0;
+  while (got < n) {
+    ssize_t r = ::read(fd, buf + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return InternalError(std::string("read failed: ") +
+                           std::strerror(errno));
+    }
+    if (r == 0) {
+      if (got == 0 && clean_eof != nullptr) {
+        *clean_eof = true;
+        return NotFoundError("connection closed");
+      }
+      return InvalidArgumentError("truncated frame (connection closed after " +
+                                  std::to_string(got) + " of " +
+                                  std::to_string(n) + " bytes)");
+    }
+    got += static_cast<size_t>(r);
+  }
+  return Status();
+}
+
+}  // namespace
+
+StatusOr<std::string> ReadFrameBody(int fd, size_t max_frame_bytes) {
+  char prefix[4];
+  bool clean_eof = false;
+  STAP_RETURN_IF_ERROR(ReadExact(fd, prefix, 4, &clean_eof));
+  uint32_t length = 0;
+  for (int b = 0; b < 4; ++b) {
+    length |= static_cast<uint32_t>(static_cast<unsigned char>(prefix[b]))
+              << (8 * b);
+  }
+  if (length > max_frame_bytes) {
+    return InvalidArgumentError("frame of " + std::to_string(length) +
+                                " bytes exceeds the " +
+                                std::to_string(max_frame_bytes) +
+                                "-byte limit");
+  }
+  std::string body(length, '\0');
+  if (length > 0) {
+    STAP_RETURN_IF_ERROR(ReadExact(fd, body.data(), length, nullptr));
+  }
+  return body;
+}
+
+}  // namespace stap

@@ -1,0 +1,105 @@
+// Wire protocol for the `stap serve` validation daemon.
+//
+// A connection opens with a 4-byte preamble that picks the dialect:
+//
+//   "STP1"  length-prefixed binary frames (the request/response protocol)
+//   "GET "  a minimal HTTP/1.0 read-only surface (/metrics, /healthz)
+//
+// Binary framing: every frame is a little-endian u32 body length followed
+// by that many body bytes. The length is bounded (kDefaultMaxFrameBytes,
+// configurable per server) so a hostile length prefix cannot force an
+// attacker-sized allocation; oversized, truncated, or otherwise malformed
+// frames are a clean kInvalidArgument, never a crash.
+//
+// Request body layout (all integers little-endian):
+//
+//   u64  request id (echoed verbatim in the response; never interpreted)
+//   u8   opcode (Opcode below)
+//   u32  schema-ref length, then that many bytes
+//   u32  payload length, then that many bytes
+//
+// The schema ref is either "@name" — a schema registered in the server's
+// snapshot registry (loaded from artifacts at startup or via kReload) —
+// or inline schema text in the repo's textual format, compiled on first
+// use through the exactly-once compile cache (the stampede guard). The
+// payload is the XML document for kValidate, the second schema ref for
+// kIncluded, and empty otherwise.
+//
+// Response body layout:
+//
+//   u64  request id
+//   u8   response code (ResponseCode below)
+//   u32  body length, then that many bytes
+//
+// kBusy is the overload verdict (the 429 analogue): the server sheds the
+// request instead of queueing unboundedly, and the client may retry.
+// Responses to requests the server could not even parse carry id 0.
+#ifndef STAP_SERVE_PROTOCOL_H_
+#define STAP_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "stap/base/status.h"
+
+namespace stap {
+
+inline constexpr char kServePreamble[4] = {'S', 'T', 'P', '1'};
+inline constexpr size_t kDefaultMaxFrameBytes = 16 * 1024 * 1024;
+
+enum class Opcode : uint8_t {
+  kValidate = 1,  // payload: XML document
+  kIncluded = 2,  // payload: second schema ref
+  kApprox = 3,    // no payload; body of the OK response is the XSD text
+  kReload = 4,    // re-scan the server's schema directory, swap snapshot
+  kPing = 5,      // no schema; payload echoed back
+};
+
+enum class ResponseCode : uint8_t {
+  kOk = 0,         // body: result payload (empty for a VALID document)
+  kInvalid = 1,    // kValidate only: document rejected; body: diagnostic
+  kError = 2,      // malformed request / internal failure; body: message
+  kBusy = 3,       // overload shed; retry later
+  kExhausted = 4,  // the per-request budget ran out; body: reason
+  kNotFound = 5,   // unknown "@name" schema ref
+};
+
+// Printable names for logs and test diagnostics ("OK", "BUSY", ...).
+const char* ResponseCodeName(ResponseCode code);
+
+struct ServeRequest {
+  uint64_t id = 0;
+  Opcode op = Opcode::kPing;
+  std::string schema_ref;
+  std::string payload;
+};
+
+struct ServeResponse {
+  uint64_t id = 0;
+  ResponseCode code = ResponseCode::kError;
+  std::string body;
+};
+
+// --- body codecs ------------------------------------------------------
+// Encode* returns a complete frame (length prefix included). Decode*
+// takes a frame body (prefix already stripped) and requires it to be
+// fully consumed.
+
+std::string EncodeRequestFrame(const ServeRequest& request);
+std::string EncodeResponseFrame(const ServeResponse& response);
+StatusOr<ServeRequest> DecodeRequestBody(std::string_view body);
+StatusOr<ServeResponse> DecodeResponseBody(std::string_view body);
+
+// --- fd framing helpers ----------------------------------------------
+// Blocking loops over read(2)/write(2) with EINTR handling. ReadFrameBody
+// reads one length prefix plus body; a clean EOF before the first prefix
+// byte is kNotFound (the peer hung up between frames), anything partial
+// is kInvalidArgument ("truncated frame").
+
+Status WriteAll(int fd, std::string_view bytes);
+StatusOr<std::string> ReadFrameBody(int fd, size_t max_frame_bytes);
+
+}  // namespace stap
+
+#endif  // STAP_SERVE_PROTOCOL_H_

@@ -1,0 +1,127 @@
+// The `stap serve` daemon: a long-running validation service over the
+// compiled-schema pipeline.
+//
+// Architecture (see DESIGN.md, "The serve daemon"):
+//
+//   - One accept thread; one handler thread per client connection, with
+//     a hard connection cap. A connection past the cap is shed with a
+//     BUSY frame at accept time — bounded threads, no unbounded queue.
+//   - Requests within a connection are processed serially in arrival
+//     order; concurrency comes from concurrent connections. A global
+//     in-flight gate (max_inflight) sheds individual requests with BUSY
+//     when the server is saturated, so overload degrades per-request
+//     instead of stalling the socket.
+//   - Schema state is an immutable SchemaSnapshot behind one atomic
+//     load (snapshot.h); artifact hot-reload swaps the epoch without
+//     blocking in-flight requests. Inline schema text compiles through
+//     the exactly-once registry memo + CompileCache — a 32-client cold
+//     stampede performs each content-model compilation once.
+//   - Every request gets its own Budget (deadline + state/set quotas
+//     from ServeOptions); exhaustion returns an EXHAUSTED frame, the
+//     connection stays healthy.
+//   - The same port speaks a minimal HTTP GET surface for scrapers:
+//     /metrics (Prometheus exposition of the process-wide registry) and
+//     /healthz. The dialect is picked by the 4-byte connection preamble.
+#ifndef STAP_SERVE_SERVER_H_
+#define STAP_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+
+#include "stap/base/budget.h"
+#include "stap/base/status.h"
+#include "stap/serve/protocol.h"
+#include "stap/serve/snapshot.h"
+
+namespace stap {
+
+class CompileCache;
+
+struct ServeOptions {
+  // Listen address. Port 0 binds an ephemeral port (see Server::port()).
+  std::string host = "127.0.0.1";
+  int port = 0;
+  // Hard cap on concurrent client connections; connection n+1 is shed
+  // with a BUSY frame and closed.
+  int max_connections = 64;
+  // Cap on requests being processed at once across all connections;
+  // 0 or negative disables the gate (connections already bound it).
+  int max_inflight = 0;
+  // Per-request budget; 0 = unlimited for that dimension.
+  int64_t request_budget_ms = 0;
+  int64_t request_max_states = 0;
+  int64_t request_max_sets = 0;
+  // Largest accepted frame body.
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  // Directory of *.stapc artifacts / *.stap schemas loaded at Start and
+  // re-scanned by kReload; empty = start with an empty snapshot.
+  std::string schema_dir;
+  // Content-model compile cache; null = CompileCache::Global().
+  CompileCache* cache = nullptr;
+};
+
+class Server {
+ public:
+  explicit Server(ServeOptions options);
+  ~Server();  // Stops if still running.
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Loads the schema directory, binds, listens, and starts accepting.
+  Status Start();
+
+  // Shuts the listener and every open connection down and joins all
+  // handler threads. Idempotent; safe from a signal-wakeup thread.
+  void Stop();
+
+  // The bound port (resolves port 0), valid after a successful Start().
+  int port() const { return port_; }
+
+  // The live schema registry: tests and the reload path swap snapshots
+  // through it while traffic is in flight.
+  SchemaRegistry* registry() { return &registry_; }
+
+  // Computes the response for one decoded request — the protocol-free
+  // core of the daemon, exercised directly by unit tests.
+  ServeResponse HandleRequest(const ServeRequest& request);
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  void ServeBinary(int fd);
+  void ServeHttp(int fd, const char preamble[4]);
+  StatusOr<std::shared_ptr<const CompiledSchema>> ResolveSchema(
+      const std::string& ref);
+  CompileCache* cache() const;
+
+  // Registers/unregisters live connection fds so Stop can interrupt
+  // blocked reads with shutdown(2). Handler threads are detached (a
+  // joinable handle per short-lived connection would hold its stack
+  // until a join); Stop drains them by waiting for the fd set to empty.
+  bool TrackConnection(int fd);
+  void ForgetConnection(int fd);
+
+  ServeOptions options_;
+  SchemaRegistry registry_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<int> active_connections_{0};
+  std::atomic<int> inflight_{0};
+
+  std::thread accept_thread_;
+  std::mutex connections_mutex_;
+  std::condition_variable connections_drained_;
+  std::unordered_set<int> connection_fds_;  // guarded by connections_mutex_
+};
+
+}  // namespace stap
+
+#endif  // STAP_SERVE_SERVER_H_

@@ -9,7 +9,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <random>
 #include <string>
 #include <thread>
@@ -101,6 +104,79 @@ TEST(CompileCache, FailureIsReportedButNotCached) {
   ASSERT_TRUE(retried.ok());
   EXPECT_TRUE((*retried)->AcceptsEpsilon());
   EXPECT_EQ(cache.size(), 1);
+}
+
+// Regression test: waiters blocked on an in-flight entry must not
+// inherit the owner's failure. Here the first arrival's compilation
+// fails the way a budget-starved request does (kResourceExhausted)
+// while several other threads are already parked on the entry; every
+// waiter must retry with its own compiler and come back with a real
+// DFA, never the owner's error.
+TEST(CompileCache, WaitersRetryInsteadOfInheritingOwnerFailure) {
+  CompileCache cache(1);
+  Counter* retries = GetCounter("cache.retry");
+  const int64_t retries0 = retries->value();
+  Alphabet types = TwoTypes();
+  ContentModelKey key = MakeContentModelKey("A B", types);
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool owner_inside = false;   // guarded by mutex
+  bool release_owner = false;  // guarded by mutex
+  std::atomic<int> calls{0};
+
+  auto compile = [&]() -> StatusOr<Dfa> {
+    if (calls.fetch_add(1) == 0) {
+      // First arrival: park until the waiters have piled up, then fail
+      // the way a starved Budget does.
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        owner_inside = true;
+      }
+      cv.notify_all();
+      std::unique_lock<std::mutex> lock(mutex);
+      cv.wait(lock, [&] { return release_owner; });
+      return ResourceExhaustedError("budget exhausted: states");
+    }
+    return Dfa::AllWords(types.size());
+  };
+
+  constexpr int kWaiters = 4;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kWaiters + 1);
+  for (int t = 0; t < kWaiters + 1; ++t) {
+    threads.emplace_back([&] {
+      StatusOr<std::shared_ptr<const Dfa>> dfa =
+          cache.GetOrCompile(key, compile);
+      // The doomed owner's own call reports its failure; everyone else
+      // must end up with a value.
+      if (!dfa.ok() &&
+          dfa.status().code() != StatusCode::kResourceExhausted) {
+        failures.fetch_add(10);
+      }
+      if (!dfa.ok()) failures.fetch_add(1);
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return owner_inside; });
+  }
+  // Give the remaining threads a moment to reach the entry wait; even if
+  // some have not parked yet, they retry through the same discipline.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    release_owner = true;
+  }
+  cv.notify_all();
+  for (std::thread& thread : threads) thread.join();
+
+  // Exactly one failure (the starved owner's own), never inherited.
+  EXPECT_EQ(failures.load(), 1);
+  EXPECT_GE(calls.load(), 2);  // the failed attempt plus at least one retry
+  EXPECT_EQ(cache.size(), 1);  // the retried success was published
+  EXPECT_GE(retries->value() - retries0, 1);
 }
 
 // The tentpole concurrency assertion: N threads hammer the same K keys;

@@ -27,6 +27,13 @@
 //   stap family <name> <n>               generate a paper lower-bound family
 //   stap explain <schema>                approximate and print a per-phase
 //                                        provenance table (sizes, wall ms)
+//   stap serve [flags]                   long-running validation daemon:
+//                                        binary validate/included/approx
+//                                        requests over a length-prefixed
+//                                        socket protocol, plus HTTP
+//                                        /metrics and /healthz; runs until
+//                                        SIGINT/SIGTERM, then drains and
+//                                        exits 0
 //
 // Global flags (accepted anywhere on the command line):
 //   --jobs=N             worker threads for batch validation (0 = one per
@@ -48,6 +55,10 @@
 //
 // Schemas use the textual format of schema/text_format.h (docs/FORMAT.md)
 // unless stated otherwise; results are printed in the same format.
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -83,6 +94,7 @@
 #include "stap/schema/xsd_io.h"
 #include "stap/schema/type_automaton.h"
 #include "stap/schema/validate.h"
+#include "stap/serve/server.h"
 #include "stap/tree/xml.h"
 
 namespace stap {
@@ -117,6 +129,14 @@ int Usage() {
          "                                theorem411; 43/411 ignore n)\n"
          "  explain <schema>              approximate and print a per-phase\n"
          "                                provenance table\n"
+         "  serve [flags]                 validation daemon; flags:\n"
+         "                                --port=N (0 = ephemeral)\n"
+         "                                --schemas=DIR (*.stapc/*.stap)\n"
+         "                                --max-connections=N\n"
+         "                                --max-inflight=N\n"
+         "                                --request-budget-ms=N\n"
+         "                                --request-max-states=N\n"
+         "                                --request-max-sets=N\n"
          "global flags: --jobs=N --budget-ms=N --max-states=N --max-sets=N\n"
          "              --metrics-json[=file] --metrics-prom[=file]\n"
          "              --trace-json[=file]  (exit 3 = budget exhausted)\n";
@@ -218,6 +238,30 @@ bool ParseGlobalFlags(int argc, char** argv, std::vector<std::string>* args,
     }
   }
   return true;
+}
+
+// Checked decimal parse for positional counts (sample count, count
+// bounds, family size), mirroring the global-flag parser: garbage,
+// trailing junk, and out-of-range values are reported as errors instead
+// of silently becoming 0 the way std::atoi made them.
+bool ParseCount(const std::string& text, int64_t min_value, int64_t max_value,
+                int* out) {
+  char* end = nullptr;
+  errno = 0;
+  long long parsed = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE ||
+      parsed < min_value || parsed > max_value) {
+    return false;
+  }
+  *out = static_cast<int>(parsed);
+  return true;
+}
+
+int BadCount(const std::string& what, const std::string& text,
+             int64_t min_value, int64_t max_value) {
+  return Fail(InvalidArgumentError(
+      "invalid " + what + " '" + text + "' (expected an integer in [" +
+      std::to_string(min_value) + ", " + std::to_string(max_value) + "])"));
 }
 
 // Writes `text` to `path` ("" or "-" = stderr). Returns the exit code,
@@ -454,6 +498,86 @@ int CmdExplain(const std::string& schema_path, GlobalOptions& options) {
   return 0;
 }
 
+// Self-pipe for signal-driven shutdown: the handler writes one byte, the
+// serving thread blocks on the read end. Async-signal-safe (write only).
+int g_shutdown_pipe[2] = {-1, -1};
+
+extern "C" void ServeSignalHandler(int /*signum*/) {
+  const char byte = 1;
+  // The return value is irrelevant: a full pipe means shutdown is
+  // already pending.
+  [[maybe_unused]] ssize_t ignored = ::write(g_shutdown_pipe[1], &byte, 1);
+}
+
+// serve [--port=N] [--schemas=DIR] [--max-connections=N] [--max-inflight=N]
+//       [--request-budget-ms=N] [--request-max-states=N]
+//       [--request-max-sets=N]
+// Prints the bound address ("serving on HOST:PORT") once ready, then runs
+// until SIGINT/SIGTERM, drains connections, and exits 0.
+int CmdServe(const std::vector<std::string>& argv) {
+  ServeOptions options;
+  for (size_t i = 2; i < argv.size(); ++i) {
+    const std::string& arg = argv[i];
+    auto flag_value = [&](const char* prefix, int64_t min_value,
+                          int64_t max_value, int64_t* out) {
+      const std::string text = arg.substr(std::strlen(prefix));
+      int value = 0;
+      if (!ParseCount(text, min_value, max_value, &value)) return false;
+      *out = value;
+      return true;
+    };
+    int64_t value = 0;
+    if (arg.rfind("--port=", 0) == 0) {
+      if (!flag_value("--port=", 0, 65535, &value)) return Usage();
+      options.port = static_cast<int>(value);
+    } else if (arg.rfind("--schemas=", 0) == 0) {
+      options.schema_dir = arg.substr(10);
+    } else if (arg.rfind("--max-connections=", 0) == 0) {
+      if (!flag_value("--max-connections=", 1, 4096, &value)) return Usage();
+      options.max_connections = static_cast<int>(value);
+    } else if (arg.rfind("--max-inflight=", 0) == 0) {
+      if (!flag_value("--max-inflight=", 0, 4096, &value)) return Usage();
+      options.max_inflight = static_cast<int>(value);
+    } else if (arg.rfind("--request-budget-ms=", 0) == 0) {
+      if (!flag_value("--request-budget-ms=", 0, 86400000, &value)) {
+        return Usage();
+      }
+      options.request_budget_ms = value;
+    } else if (arg.rfind("--request-max-states=", 0) == 0) {
+      if (!flag_value("--request-max-states=", 0, 1000000000, &value)) {
+        return Usage();
+      }
+      options.request_max_states = value;
+    } else if (arg.rfind("--request-max-sets=", 0) == 0) {
+      if (!flag_value("--request-max-sets=", 0, 1000000000, &value)) {
+        return Usage();
+      }
+      options.request_max_sets = value;
+    } else {
+      return Usage();
+    }
+  }
+
+  if (::pipe(g_shutdown_pipe) != 0) {
+    return Fail(InternalError("cannot create the shutdown pipe"));
+  }
+  Server server(std::move(options));
+  Status started = server.Start();
+  if (!started.ok()) return Fail(started);
+  std::signal(SIGINT, ServeSignalHandler);
+  std::signal(SIGTERM, ServeSignalHandler);
+  // std::endl flushes, so wrapper scripts can scrape the port as soon as
+  // the line appears even when stdout is a file.
+  std::cout << "serving on 127.0.0.1:" << server.port() << std::endl;
+
+  char byte = 0;
+  while (::read(g_shutdown_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+  std::cout << "shutting down" << std::endl;
+  server.Stop();
+  return 0;
+}
+
 int RunCommand(const std::vector<std::string>& argv, GlobalOptions& options) {
   Budget* const budget = options.budget_ptr();
   const int argc = static_cast<int>(argv.size());
@@ -542,7 +666,10 @@ int RunCommand(const std::vector<std::string>& argv, GlobalOptions& options) {
     return PrintXsd(*result);
   }
   if (command == "sample" && (argc == 3 || argc == 4)) {
-    int count = argc == 4 ? std::atoi(argv[3].c_str()) : 1;
+    int count = 1;
+    if (argc == 4 && !ParseCount(argv[3], 1, 1000000, &count)) {
+      return BadCount("sample count", argv[3], 1, 1000000);
+    }
     return CmdSample(argv[2], count);
   }
   if (command == "witness" && argc == 4) {
@@ -616,9 +743,15 @@ int RunCommand(const std::vector<std::string>& argv, GlobalOptions& options) {
       return Fail(InvalidArgumentError(
           "counting requires a single-type schema; run 'approx' first"));
     }
-    double count = CountDocuments(DfaXsdFromStEdtd(reduced),
-                                  std::atoi(argv[3].c_str()),
-                                  std::atoi(argv[4].c_str()));
+    int depth = 0;
+    int width = 0;
+    if (!ParseCount(argv[3], 0, 1000000, &depth)) {
+      return BadCount("depth bound", argv[3], 0, 1000000);
+    }
+    if (!ParseCount(argv[4], 0, 1000000, &width)) {
+      return BadCount("width bound", argv[4], 0, 1000000);
+    }
+    double count = CountDocuments(DfaXsdFromStEdtd(reduced), depth, width);
     std::cout << count << "\n";
     return 0;
   }
@@ -648,9 +781,9 @@ int RunCommand(const std::vector<std::string>& argv, GlobalOptions& options) {
   }
   if (command == "family" && (argc == 3 || argc == 4)) {
     const std::string& name = argv[2];
-    const int n = argc == 4 ? std::atoi(argv[3].c_str()) : 1;
-    if (n < 1) {
-      return Fail(InvalidArgumentError("family size must be >= 1"));
+    int n = 1;
+    if (argc == 4 && !ParseCount(argv[3], 1, 1000000, &n)) {
+      return BadCount("family size", argv[3], 1, 1000000);
     }
     // The pair-valued families expose each member under an a/b suffix so
     // the result is always a single schema on stdout.
@@ -678,6 +811,7 @@ int RunCommand(const std::vector<std::string>& argv, GlobalOptions& options) {
     return 0;
   }
   if (command == "explain" && argc == 3) return CmdExplain(argv[2], options);
+  if (command == "serve") return CmdServe(argv);
   return Usage();
 }
 
