@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "stap/approx/upper.h"
@@ -138,9 +139,16 @@ LowerCheckResult CheckMaximalLowerFinite(const Edtd& candidate_in,
 }
 
 bool IsSingleTypeDefinable(const Edtd& edtd) {
-  DfaXsd upper = MinimalUpperApproximation(edtd);
+  StatusOr<bool> result = IsSingleTypeDefinable(edtd, nullptr);
+  return *std::move(result);  // a null budget never exhausts
+}
+
+StatusOr<bool> IsSingleTypeDefinable(const Edtd& edtd, Budget* budget,
+                                     const UpperOptions& options) {
+  StatusOr<DfaXsd> upper = MinimalUpperApproximation(edtd, budget, options);
+  if (!upper.ok()) return upper.status();
   // L(edtd) ⊆ L(upper) always; definability is the converse inclusion.
-  return EdtdIncludedInExact(StEdtdFromDfaXsd(upper), edtd);
+  return EdtdIncludedInExact(StEdtdFromDfaXsd(*upper), edtd);
 }
 
 }  // namespace stap

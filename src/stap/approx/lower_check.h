@@ -20,6 +20,9 @@
 #include <optional>
 
 #include "stap/approx/closure.h"
+#include "stap/approx/upper.h"
+#include "stap/base/budget.h"
+#include "stap/base/status.h"
 #include "stap/schema/edtd.h"
 #include "stap/tree/enumerate.h"
 
@@ -63,6 +66,14 @@ LowerCheckResult CheckMaximalLowerFinite(const Edtd& candidate,
 // EXPTIME test, via Theorem 3.2: the language is single-type definable iff
 // it equals its minimal upper approximation.)
 bool IsSingleTypeDefinable(const Edtd& edtd);
+
+// Budgeted variant: the upper construction charges the budget (the
+// dominant exponential cost; the converse inclusion runs on whatever it
+// built). `options` configures that construction — any context supplied
+// there must be exact-mode (upper.h) or the verdict concerns the
+// restricted language only. A null budget is unlimited.
+StatusOr<bool> IsSingleTypeDefinable(const Edtd& edtd, Budget* budget,
+                                     const UpperOptions& options = {});
 
 }  // namespace stap
 

@@ -1,13 +1,13 @@
 #include "stap/approx/minimal_upper_check.h"
 
 #include <atomic>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "stap/approx/inclusion.h"
 #include "stap/approx/upper_boolean.h"
 #include "stap/automata/antichain.h"
+#include "stap/automata/determinize.h"
 #include "stap/automata/ops.h"
 #include "stap/automata/state_set_hash.h"
 #include "stap/base/check.h"
@@ -43,8 +43,11 @@ StatusOr<bool> IsMinimalUpperApproximation(const Edtd& candidate_in,
 
   // Phase 2: L(candidate) ⊆ L(minupper(target)) — per the paper it
   // suffices to check inclusion, since minupper is the least single-type
-  // language containing L(target). Walk pairs (candidate XSD state,
-  // subset of target types) materializing subsets on demand.
+  // language containing L(target). The pairs (candidate XSD state,
+  // subset of target types) are exactly a schema-guided determinization
+  // of the target's type automaton under the candidate as context, so
+  // this phase rides the shared kernel (same budget, metrics, and span
+  // contract) instead of the hand-rolled joint walk it used to be.
   TypeAutomaton target_types = BuildTypeAutomaton(target);
 
   // Candidate root labels must all be allowed by minupper, whose start
@@ -55,41 +58,41 @@ StatusOr<bool> IsMinimalUpperApproximation(const Edtd& candidate_in,
     if (!target_root[a]) return false;
   }
 
-  // Subsets of target-type states are interned to dense ids; the
-  // visited-pair set and the per-subset content unions key off those ids.
+  // The kernel materializes only (candidate state, subset) pairs both of
+  // whose halves are live; a target move the candidate cannot follow (or
+  // vice versa) lands in the shared sink, which the old walk skipped as
+  // "caught by the content check".
   ScopedSpan walk_span("muc.pair_walk");
-  StateSetInterner subsets;
-  std::unordered_set<uint64_t, U64Hash> seen;
-  std::vector<std::pair<int, int>> worklist;  // (candidate state, subset id)
-  Status charge_status;
-  auto visit = [&](int q, StateSet&& subset) {
-    int subset_id = subsets.Intern(std::move(subset)).first;
-    if (seen.insert(PackPair(q, subset_id)).second) {
-      worklist.emplace_back(q, subset_id);
-      if (charge_status.ok()) charge_status = Budget::ChargeSets(budget);
-    }
-  };
-  visit(candidate_xsd.automaton.initial(), StateSet{TypeAutomaton::kInit});
+  std::vector<StateSet> pair_subsets;
+  std::vector<StateSet> pair_contexts;
+  StatusOr<Dfa> joint =
+      DeterminizeUnderSchema(target_types.nfa, candidate_xsd.automaton.ToNfa(),
+                             budget, &pair_subsets, &pair_contexts);
+  if (!joint.ok()) return joint.status();
 
-  // BFS over reachable pairs first (cheap graph walk; expansion never
-  // depended on the content verdicts), then one parallel sweep of the
-  // content checks over the collected pairs.
-  StateSet scratch;
-  for (size_t processed = 0;
-       processed < worklist.size() && charge_status.ok(); ++processed) {
-    const auto [q, subset_id] = worklist[processed];
-    for (int a = 0; a < num_symbols; ++a) {
-      int q_next = candidate_xsd.automaton.Next(q, a);
-      if (q_next == kNoState) continue;
-      target_types.nfa.NextInto(subsets[subset_id], a, &scratch);
-      if (scratch.empty()) continue;  // caught by the content check
-      visit(q_next, std::move(scratch));
-    }
+  // Re-intern the materialized subsets so each distinct subset's content
+  // union is built once; keep per live pair the candidate state and the
+  // interned subset id. The sink (both halves empty) carries no content
+  // obligation, and the initial pair is the ({init}, {q_init}) root
+  // marker whose content the root-label check above already covers.
+  StateSetInterner subsets;
+  struct PairRef {
+    int q;
+    int subset_id;
+  };
+  std::vector<PairRef> worklist;
+  for (int s = 0; s < joint->num_states(); ++s) {
+    if (s == joint->initial() || pair_subsets[s].empty()) continue;
+    // The candidate automaton is deterministic, so every live context
+    // half is a singleton {q}.
+    STAP_CHECK(pair_contexts[s].size() == 1);
+    StateSet subset = pair_subsets[s];
+    worklist.push_back(
+        PairRef{pair_contexts[s][0], subsets.Intern(std::move(subset)).first});
   }
   walk_span.AddArg("pairs", worklist.size());
   walk_span.AddArg("subsets", subsets.size());
   walk_span.End();
-  STAP_RETURN_IF_ERROR(charge_status);
 
   // Union NFA of a subset's content images. Built once per subset id (all
   // ids occur in the worklist); the antichain inclusion consumes the NFA
@@ -114,14 +117,12 @@ StatusOr<bool> IsMinimalUpperApproximation(const Edtd& candidate_in,
 
   ScopedSpan sweep_span("muc.content_sweep");
   sweep_span.AddArg("pairs", worklist.size());
-  const int candidate_init = candidate_xsd.automaton.initial();
   std::atomic<bool> failed{false};
   SharedStatus shared;
   ThreadPool::ParallelFor(
       pool, static_cast<int>(worklist.size()), [&](int i) {
         if (failed.load(std::memory_order_relaxed) || !shared.ok()) return;
         const auto [q, subset_id] = worklist[i];
-        if (q == candidate_init) return;
         // Candidate content must be inside the union of the subset's
         // contents.
         Nfa image = candidate_xsd.content[q].ToNfa();

@@ -38,13 +38,26 @@ StatusOr<DfaXsd> MinimalUpperApproximation(const Edtd& input, Budget* budget,
   ta_span.AddArg("nfa_states", type_automaton.nfa.num_states());
   ta_span.End();
 
-  // Subset construction on the type automaton. Each reachable subset is
-  // either {q_init}, empty (the dead sink), or a set of type states that
-  // all carry the same Σ-label.
+  if (options.vertical_context != nullptr &&
+      options.vertical_context->num_symbols() != edtd.num_symbols()) {
+    return Status(StatusCode::kInvalidArgument,
+                  "vertical_context alphabet does not match the EDTD");
+  }
+  if (options.content_context != nullptr &&
+      options.content_context->num_symbols() != edtd.num_symbols()) {
+    return Status(StatusCode::kInvalidArgument,
+                  "content_context alphabet does not match the EDTD");
+  }
+
+  // Subset construction on the type automaton, schema-guided when a
+  // vertical context is supplied. Each materialized subset is either
+  // {q_init}, empty (the dead sink, dense or schema-pruned), or a set of
+  // type states that all carry the same Σ-label.
   ScopedSpan subset_span("upper.subset_construction");
   std::vector<StateSet> subsets;
   StatusOr<Dfa> determinized_or =
-      Determinize(type_automaton.nfa, budget, &subsets);
+      Determinize(type_automaton.nfa, options.vertical_context, budget,
+                  &subsets);
   if (!determinized_or.ok()) return determinized_or.status();
   Dfa determinized = *std::move(determinized_or);
   subset_span.AddArg("subset_states", determinized.num_states());
@@ -55,6 +68,14 @@ StatusOr<DfaXsd> MinimalUpperApproximation(const Edtd& input, Budget* budget,
   // empty sink is dropped.
   const int n = determinized.num_states();
   std::vector<int> remap(n, kNoState);
+  if (subsets[determinized.initial()].empty()) {
+    // Only reachable schema-guided: the vertical context admits no root
+    // at all, so the restricted approximation is the empty schema. The
+    // DfaXsd representation has no empty form; report it as a bad
+    // context rather than fabricating one.
+    return Status(StatusCode::kInvalidArgument,
+                  "vertical_context admits no document root");
+  }
   STAP_CHECK(subsets[determinized.initial()] ==
              StateSet{TypeAutomaton::kInit});
   remap[determinized.initial()] = 0;
@@ -107,11 +128,15 @@ StatusOr<DfaXsd> MinimalUpperApproximation(const Edtd& input, Budget* budget,
     STAP_CHECK(!first);  // non-empty subset
     xsd.state_label[remap[s]] = label;
     if (options.minimize_content) {
-      StatusOr<Dfa> content = MinimizeNfa(content_union, budget);
+      StatusOr<Dfa> content =
+          MinimizeNfa(content_union, options.content_context, budget);
       if (!content.ok()) return content.status();
       xsd.content[remap[s]] = *std::move(content);
     } else {
-      StatusOr<Dfa> content = Determinize(content_union, budget);
+      // Trimmed() drops the schema path's dead sink along with any other
+      // dead state, so the representation stays comparable to dense.
+      StatusOr<Dfa> content =
+          Determinize(content_union, options.content_context, budget);
       if (!content.ok()) return content.status();
       xsd.content[remap[s]] = content->Trimmed();
     }
@@ -131,6 +156,16 @@ DfaXsd MinimalUpperApproximation(const Edtd& input,
                                  const UpperOptions& options) {
   StatusOr<DfaXsd> result = MinimalUpperApproximation(input, nullptr, options);
   return *std::move(result);  // a null budget never exhausts
+}
+
+Nfa ContentUnionContext(const Edtd& edtd) {
+  Nfa context(0, edtd.num_symbols());
+  for (int tau = 0; tau < edtd.num_types(); ++tau) {
+    Nfa image = HomomorphicImage(edtd.content[tau], edtd.mu,
+                                 edtd.num_symbols());
+    context = tau == 0 ? std::move(image) : NfaUnion(context, image);
+  }
+  return context;
 }
 
 }  // namespace stap

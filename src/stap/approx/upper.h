@@ -8,6 +8,7 @@
 #ifndef STAP_APPROX_UPPER_H_
 #define STAP_APPROX_UPPER_H_
 
+#include "stap/automata/nfa.h"
 #include "stap/base/budget.h"
 #include "stap/base/status.h"
 #include "stap/schema/edtd.h"
@@ -21,7 +22,32 @@ struct UpperOptions {
   // same language, larger representation — the ablation measured by
   // bench_upper_edtd.
   bool minimize_content = true;
+
+  // Ambient sibling-word constraint (an NFA over the EDTD's Σ) for the
+  // type-automaton subset construction: when non-null, the construction
+  // runs schema-guided (determinize.h) and materializes only type
+  // subsets reachable along context-live sibling words. The result is
+  // then the minimal upper approximation of L(edtd) *restricted to* the
+  // context — exact only if L(context) contains every sibling word the
+  // type automaton accepts. Null runs the dense path. Both pointers must
+  // outlive the call; neither is owned.
+  const Nfa* vertical_context = nullptr;
+
+  // Context for every merged-content determinization/minimization. With
+  // an exact-mode context (language contains every merged content union,
+  // e.g. ContentUnionContext below) the output XSD is language-identical
+  // to the dense path — and with minimize_content also structurally
+  // identical, which the differential tests exploit. Null = dense.
+  const Nfa* content_context = nullptr;
 };
+
+// Union of the Σ-homomorphic images of every content model of `edtd`:
+// the coarsest exact-mode `content_context` (its language contains every
+// per-subset content union MinimalUpperApproximation merges). Because it
+// contains each target it never prunes — it exists as the identity
+// witness for differential tests and the CLI's --schema-guided mode, not
+// as an optimization; see DESIGN.md for where real contexts come from.
+Nfa ContentUnionContext(const Edtd& edtd);
 
 // Returns the minimal upper XSD-approximation of L(edtd). The input is
 // reduced internally (Proviso 2.3). States of the result correspond to the

@@ -401,11 +401,12 @@ Edtd DifferenceEdtd(const Edtd& d1, const DfaXsd& xsd2, ThreadPool* pool) {
   return *std::move(result);  // a null budget never exhausts
 }
 
-StatusOr<DfaXsd> UpperUnion(const Edtd& d1, const Edtd& d2, Budget* budget) {
+StatusOr<DfaXsd> UpperUnion(const Edtd& d1, const Edtd& d2, Budget* budget,
+                            const UpperOptions& options) {
   ScopedSpan span("approx.upper_union");
   STAP_CHECK(IsSingleType(d1));
   STAP_CHECK(IsSingleType(d2));
-  return MinimalUpperApproximation(EdtdUnion(d1, d2), budget);
+  return MinimalUpperApproximation(EdtdUnion(d1, d2), budget, options);
 }
 
 DfaXsd UpperUnion(const Edtd& d1, const Edtd& d2) {
@@ -488,7 +489,7 @@ StatusOr<DfaXsd> UpperIntersection(const Edtd& d1_in, const Edtd& d2_in,
     }
   }
   // Prune unproductive states through the EDTD reduction round trip.
-  return MinimizeXsd(product);
+  return MinimizeXsd(product, budget);
 }
 
 DfaXsd UpperIntersection(const Edtd& d1, const Edtd& d2, ThreadPool* pool) {
@@ -497,14 +498,14 @@ DfaXsd UpperIntersection(const Edtd& d1, const Edtd& d2, ThreadPool* pool) {
 }
 
 StatusOr<DfaXsd> UpperComplement(const Edtd& d, ThreadPool* pool,
-                                 Budget* budget) {
+                                 Budget* budget, const UpperOptions& options) {
   ScopedSpan span("approx.upper_complement");
   Edtd reduced = ReduceEdtd(d);
   STAP_CHECK(IsSingleType(reduced));
   StatusOr<Edtd> complement =
       ComplementEdtd(DfaXsdFromStEdtd(reduced), pool, budget);
   if (!complement.ok()) return complement.status();
-  return MinimalUpperApproximation(*complement, budget);
+  return MinimalUpperApproximation(*complement, budget, options);
 }
 
 DfaXsd UpperComplement(const Edtd& d, ThreadPool* pool) {
@@ -513,7 +514,8 @@ DfaXsd UpperComplement(const Edtd& d, ThreadPool* pool) {
 }
 
 StatusOr<DfaXsd> UpperDifference(const Edtd& d1_in, const Edtd& d2_in,
-                                 ThreadPool* pool, Budget* budget) {
+                                 ThreadPool* pool, Budget* budget,
+                                 const UpperOptions& options) {
   ScopedSpan span("approx.upper_difference");
   auto [d1, d2] = AlignAlphabets(d1_in, d2_in);
   Edtd r1 = ReduceEdtd(d1);
@@ -523,7 +525,7 @@ StatusOr<DfaXsd> UpperDifference(const Edtd& d1_in, const Edtd& d2_in,
   StatusOr<Edtd> difference =
       DifferenceEdtd(r1, DfaXsdFromStEdtd(r2), pool, budget);
   if (!difference.ok()) return difference.status();
-  return MinimalUpperApproximation(*difference, budget);
+  return MinimalUpperApproximation(*difference, budget, options);
 }
 
 DfaXsd UpperDifference(const Edtd& d1, const Edtd& d2, ThreadPool* pool) {

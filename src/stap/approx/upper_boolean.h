@@ -24,6 +24,7 @@
 
 #include <utility>
 
+#include "stap/approx/upper.h"
 #include "stap/base/budget.h"
 #include "stap/base/status.h"
 #include "stap/schema/edtd.h"
@@ -79,14 +80,22 @@ DfaXsd UpperComplement(const Edtd& d, ThreadPool* pool = nullptr);
 DfaXsd UpperDifference(const Edtd& d1, const Edtd& d2,
                        ThreadPool* pool = nullptr);
 
-// Budgeted variants of the four theorems.
-StatusOr<DfaXsd> UpperUnion(const Edtd& d1, const Edtd& d2, Budget* budget);
+// Budgeted variants of the four theorems. `options` configures the final
+// MinimalUpperApproximation (upper.h) — note that any context supplied
+// there constrains the *result* schema's alphabet, not the internal
+// types-as-symbols content builds of Complement/Difference, which stay
+// dense (their ambient language is all of Σ*; see DESIGN.md on why the
+// complement construction is the degenerate case for schema guidance).
+StatusOr<DfaXsd> UpperUnion(const Edtd& d1, const Edtd& d2, Budget* budget,
+                            const UpperOptions& options = {});
 StatusOr<DfaXsd> UpperIntersection(const Edtd& d1, const Edtd& d2,
                                    ThreadPool* pool, Budget* budget);
 StatusOr<DfaXsd> UpperComplement(const Edtd& d, ThreadPool* pool,
-                                 Budget* budget);
+                                 Budget* budget,
+                                 const UpperOptions& options = {});
 StatusOr<DfaXsd> UpperDifference(const Edtd& d1, const Edtd& d2,
-                                 ThreadPool* pool, Budget* budget);
+                                 ThreadPool* pool, Budget* budget,
+                                 const UpperOptions& options = {});
 
 }  // namespace stap
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "stap/automata/antichain.h"
+#include "stap/automata/determinize.h"
 #include "stap/automata/state_set_hash.h"
 #include "stap/base/check.h"
 
@@ -164,6 +165,19 @@ bool NfaIncludedInNfaViaSubsets(const Nfa& a, const Nfa& b) {
 std::optional<Word> NfaDfaInclusionCounterexampleViaSubsets(const Nfa& nfa,
                                                             const Dfa& dfa) {
   return SearchCounterexample(nfa, dfa);
+}
+
+StatusOr<bool> NfaIncludedInNfaViaSchemaDeterminize(const Nfa& a, const Nfa& b,
+                                                    Budget* budget) {
+  STAP_CHECK(a.num_symbols() == b.num_symbols());
+  // Determinize the right side under the left side as context: subsets of
+  // b reachable only outside L(a)'s prefix closure collapse into the
+  // sink. The result agrees with det(b) on every word of L(a) (all its
+  // prefixes are a-live), which is exactly the set the inclusion check
+  // quantifies over.
+  StatusOr<Dfa> guided = DeterminizeUnderSchema(b, a, budget);
+  if (!guided.ok()) return guided.status();
+  return NfaIncludedInDfa(a, *guided, budget);
 }
 
 }  // namespace stap

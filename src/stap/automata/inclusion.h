@@ -57,6 +57,15 @@ std::optional<Word> NfaDfaInclusionCounterexample(const Nfa& nfa,
 // both sides' reachable subsets without subsumption pruning).
 bool NfaIncludedInNfaViaSubsets(const Nfa& a, const Nfa& b);
 
+// L(a) ⊆ L(b) via DeterminizeUnderSchema(b, context = a): only b-subsets
+// reachable along words of L(a)'s prefixes are materialized, and the
+// restricted-mode contract (L(result) ∩ L(a) = L(b) ∩ L(a)) makes the
+// verdict exact — L(a) ⊆ L(b) iff L(a) ⊆ L(result). Differential oracle
+// for the schema-guided determinizer against the antichain engine.
+StatusOr<bool> NfaIncludedInNfaViaSchemaDeterminize(const Nfa& a,
+                                                    const Nfa& b,
+                                                    Budget* budget = nullptr);
+
 // Shortest word in L(nfa) \ L(dfa) via the (subset of nfa, dfa state)
 // product BFS.
 std::optional<Word> NfaDfaInclusionCounterexampleViaSubsets(const Nfa& nfa,

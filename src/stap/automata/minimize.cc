@@ -178,7 +178,11 @@ Dfa Minimize(const Dfa& input) {
 }
 
 StatusOr<Dfa> MinimizeNfa(const Nfa& nfa, Budget* budget) {
-  StatusOr<Dfa> determinized = Determinize(nfa, budget);
+  return MinimizeNfa(nfa, nullptr, budget);
+}
+
+StatusOr<Dfa> MinimizeNfa(const Nfa& nfa, const Nfa* context, Budget* budget) {
+  StatusOr<Dfa> determinized = Determinize(nfa, context, budget);
   if (!determinized.ok()) return determinized.status();
   return Minimize(*determinized, budget);
 }

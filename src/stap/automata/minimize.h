@@ -27,6 +27,15 @@ Dfa MinimizeNfa(const Nfa& nfa);
 // refinement checks the deadline.
 StatusOr<Dfa> MinimizeNfa(const Nfa& nfa, Budget* budget);
 
+// Schema-guided variant: a non-null `context` routes the subset
+// construction through DeterminizeUnderSchema (see determinize.h),
+// exploring only subsets reachable under the ambient schema; a null
+// context is the dense path. When L(context) ⊇ L(nfa) the result is the
+// same canonical minimal DFA as the dense path (minimization erases the
+// pair structure); otherwise it is the canonical minimal DFA of the
+// sub-language L(nfa) ∩ L(context)-prefix-live words.
+StatusOr<Dfa> MinimizeNfa(const Nfa& nfa, const Nfa* context, Budget* budget);
+
 }  // namespace stap
 
 #endif  // STAP_AUTOMATA_MINIMIZE_H_

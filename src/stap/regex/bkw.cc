@@ -1,7 +1,9 @@
 #include "stap/regex/bkw.h"
 
+#include <utility>
 #include <vector>
 
+#include "stap/automata/determinize.h"
 #include "stap/automata/minimize.h"
 #include "stap/base/check.h"
 
@@ -79,13 +81,14 @@ bool HasOrbitProperty(const Dfa& dfa, const std::vector<int>& orbit,
   return true;
 }
 
-bool Decide(const Dfa& input, int depth);
+StatusOr<bool> Decide(const Dfa& input, int depth, Budget* budget);
 
 // The orbit automaton M_K(q): the orbit's internal transitions, initial
 // state q, gates final.
-bool OrbitLanguagesAreOneUnambiguous(const Dfa& dfa,
-                                     const std::vector<int>& orbit,
-                                     int num_orbits, int depth) {
+StatusOr<bool> OrbitLanguagesAreOneUnambiguous(const Dfa& dfa,
+                                               const std::vector<int>& orbit,
+                                               int num_orbits, int depth,
+                                               Budget* budget) {
   const int n = dfa.num_states();
   for (int k = 0; k < num_orbits; ++k) {
     // Entry states of the orbit: the automaton's initial state, or
@@ -124,18 +127,22 @@ bool OrbitLanguagesAreOneUnambiguous(const Dfa& dfa,
           if (r != kNoState && orbit[r] == k) sub.SetTransition(q, a, r);
         }
       }
-      if (!Decide(sub, depth + 1)) return false;
+      StatusOr<bool> sub_ok = Decide(sub, depth + 1, budget);
+      if (!sub_ok.ok()) return sub_ok.status();
+      if (!*sub_ok) return false;
     }
   }
   return true;
 }
 
-bool Decide(const Dfa& input, int depth) {
+StatusOr<bool> Decide(const Dfa& input, int depth, Budget* budget) {
   // Each level either removes a transition (S-cut) or splits into
   // strictly smaller orbit automata, so depth is bounded by the input
   // size; the guard is a defensive backstop only.
   if (depth > 1000) return false;
-  Dfa dfa = Minimize(input);
+  StatusOr<Dfa> minimized = Minimize(input, budget);
+  if (!minimized.ok()) return minimized.status();
+  Dfa dfa = *std::move(minimized);
   const int n = dfa.num_states();
   if (dfa.IsEmpty()) return true;
   if (n == 1 && dfa.Size() == 1) return true;  // language {ε}
@@ -189,11 +196,26 @@ bool Decide(const Dfa& input, int depth) {
     if (has_transition) return false;
   }
 
-  return OrbitLanguagesAreOneUnambiguous(cut, orbit, num_orbits, depth);
+  return OrbitLanguagesAreOneUnambiguous(cut, orbit, num_orbits, depth,
+                                         budget);
 }
 
 }  // namespace
 
-bool IsOneUnambiguousLanguage(const Dfa& dfa) { return Decide(dfa, 0); }
+bool IsOneUnambiguousLanguage(const Dfa& dfa) {
+  StatusOr<bool> result = Decide(dfa, 0, nullptr);
+  return *std::move(result);  // a null budget never exhausts
+}
+
+StatusOr<bool> IsOneUnambiguousLanguage(const Dfa& dfa, Budget* budget) {
+  return Decide(dfa, 0, budget);
+}
+
+StatusOr<bool> IsOneUnambiguousLanguage(const Nfa& nfa, const Nfa* context,
+                                        Budget* budget) {
+  StatusOr<Dfa> dfa = Determinize(nfa, context, budget);
+  if (!dfa.ok()) return dfa.status();
+  return Decide(*dfa, 0, budget);
+}
 
 }  // namespace stap

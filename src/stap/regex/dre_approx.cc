@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "stap/automata/determinize.h"
 #include "stap/automata/inclusion.h"
 #include "stap/regex/glushkov.h"
 
@@ -153,6 +154,16 @@ RegexPtr ApproximateDre(const Dfa& input) {
     factors.push_back(std::move(factor));
   }
   return Regex::Concat(std::move(factors));
+}
+
+StatusOr<RegexPtr> ApproximateDreUnderSchema(const Nfa& nfa,
+                                             const Nfa* context,
+                                             Budget* budget) {
+  StatusOr<Dfa> dfa = Determinize(nfa, context, budget);
+  if (!dfa.ok()) return dfa.status();
+  // The chain heuristic trims first, which also drops the schema path's
+  // dead sink.
+  return ApproximateDre(*dfa);
 }
 
 bool ApproximateDreIsExact(const Dfa& dfa) {

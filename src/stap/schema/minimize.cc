@@ -89,6 +89,11 @@ DfaXsd Canonicalize(const DfaXsd& xsd) {
 }  // namespace
 
 DfaXsd MinimizeXsd(const DfaXsd& input) {
+  StatusOr<DfaXsd> result = MinimizeXsd(input, nullptr);
+  return *std::move(result);  // a null budget never exhausts
+}
+
+StatusOr<DfaXsd> MinimizeXsd(const DfaXsd& input, Budget* budget) {
   // Step 1: reduce through the EDTD view; this prunes unproductive and
   // unreachable states and canonicalizes every content DFA.
   Edtd reduced = ReduceEdtd(StEdtdFromDfaXsd(input));
@@ -112,9 +117,11 @@ DfaXsd MinimizeXsd(const DfaXsd& input) {
   int num_blocks = static_cast<int>(block_ids.size());
 
   // Step 3: refine by successor blocks until stable (hashed signatures,
-  // as in automata/minimize.cc).
+  // as in automata/minimize.cc). Refinement never grows the state count,
+  // so only the wall-clock deadline can exhaust; checked once per round.
   std::vector<int> signature;
   while (true) {
+    STAP_RETURN_IF_ERROR(Budget::CheckDeadline(budget));
     std::unordered_map<std::vector<int>, int, IntVectorHash> signature_ids;
     signature_ids.reserve(static_cast<size_t>(n));
     std::vector<int> next_block(n);
@@ -166,6 +173,30 @@ DfaXsd MinimizeXsd(const DfaXsd& input) {
   DfaXsd result = Canonicalize(quotient);
   result.CheckWellFormed();
   return result;
+}
+
+StatusOr<DfaXsd> MinimizeXsdUnderContext(const DfaXsd& input,
+                                         const Nfa& sibling_context,
+                                         Budget* budget) {
+  if (sibling_context.num_symbols() != input.sigma.size()) {
+    return Status(StatusCode::kInvalidArgument,
+                  "sibling_context alphabet does not match the XSD");
+  }
+  // Re-canonicalize every content DFA schema-guided: subsets reachable
+  // only on context-dead child words collapse into the sink, and the
+  // minimization quotients the result, so contents that agree on every
+  // context-live word become structurally identical. MinimizeXsd's
+  // block partition then merges the states they label.
+  DfaXsd xsd = input;
+  const int init = xsd.automaton.initial();
+  for (int q = 0; q < xsd.automaton.num_states(); ++q) {
+    if (q == init) continue;
+    StatusOr<Dfa> content =
+        MinimizeNfa(xsd.content[q].ToNfa(), &sibling_context, budget);
+    if (!content.ok()) return content.status();
+    xsd.content[q] = *std::move(content);
+  }
+  return MinimizeXsd(xsd, budget);
 }
 
 Edtd MinimizeStEdtd(const Edtd& edtd) {

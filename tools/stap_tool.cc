@@ -129,6 +129,9 @@ int Usage() {
          "                                theorem411; 43/411 ignore n)\n"
          "  explain <schema>              approximate and print a per-phase\n"
          "                                provenance table\n"
+         "          [--schema-guided]     run content merges through the\n"
+         "                                schema-guided determinizer and\n"
+         "                                report pruning counters\n"
          "  serve [flags]                 validation daemon; flags:\n"
          "                                --port=N (0 = ephemeral)\n"
          "                                --schemas=DIR (*.stapc/*.stap)\n"
@@ -454,11 +457,20 @@ int CmdSample(const std::string& schema_path, int count) {
 // time, and the size counters its spans recorded. Reuses the global
 // --trace-json session when one is active so the same recording also lands
 // in the Chrome trace; otherwise records into a throwaway local session.
-int CmdExplain(const std::string& schema_path, GlobalOptions& options) {
+int CmdExplain(const std::string& schema_path, bool schema_guided,
+               GlobalOptions& options) {
   StatusOr<Edtd> schema = LoadSchema(schema_path);
   if (!schema.ok()) return Fail(schema.status());
 
   Counter* const determinize_states = GetCounter("determinize.states_created");
+  Counter* const schema_calls = GetCounter("determinize.schema_calls");
+  Counter* const pruned_states =
+      GetCounter("determinize.schema_pruned_states");
+  Counter* const pruned_transitions =
+      GetCounter("determinize.schema_pruned_transitions");
+  const int64_t schema_calls_before = schema_calls->value();
+  const int64_t pruned_states_before = pruned_states->value();
+  const int64_t pruned_transitions_before = pruned_transitions->value();
   TraceSession local;
   TraceSession* session = options.session.get();
   // The registry delta is measured over the recording window, so it is
@@ -470,8 +482,18 @@ int CmdExplain(const std::string& schema_path, GlobalOptions& options) {
     local.Start();
   }
 
+  // --schema-guided: run every content merge under the union-of-contents
+  // context. That context is exact-mode (upper.h), so the resulting XSD
+  // is identical — the flag exists to exercise and observe the
+  // schema-guided path on real schemas, not to change the answer.
+  UpperOptions upper_options;
+  Nfa content_context(0, 0);
+  if (schema_guided) {
+    content_context = ContentUnionContext(*schema);
+    upper_options.content_context = &content_context;
+  }
   StatusOr<DfaXsd> xsd =
-      MinimalUpperApproximation(*schema, options.budget_ptr());
+      MinimalUpperApproximation(*schema, options.budget_ptr(), upper_options);
   if (session == &local) local.Stop();
   // The phase table is printed even when the budget ran out: seeing where
   // the states went is most valuable exactly then.
@@ -492,6 +514,16 @@ int CmdExplain(const std::string& schema_path, GlobalOptions& options) {
   std::cout << "cross-check: determinize.states_created +" << registry_states
             << " (registry), " << traced_states << " (trace spans)"
             << (registry_states == traced_states ? "" : "  MISMATCH") << "\n";
+  // Schema-guided pruning summary (all deltas over this run); printed
+  // whenever the guided path ran so dense runs stay byte-compatible.
+  if (schema_calls->value() != schema_calls_before) {
+    std::cout << "schema-guided: " << schema_calls->value() - schema_calls_before
+              << " guided determinizations, "
+              << pruned_states->value() - pruned_states_before
+              << " subsets pruned, "
+              << pruned_transitions->value() - pruned_transitions_before
+              << " transitions redirected\n";
+  }
   if (!xsd.ok()) return Fail(xsd.status());
   std::cout << "result: " << xsd->automaton.num_states()
             << " XSD states over " << xsd->sigma.size() << " elements\n";
@@ -810,7 +842,10 @@ int RunCommand(const std::vector<std::string>& argv, GlobalOptions& options) {
     std::cout << SchemaToText(schema);
     return 0;
   }
-  if (command == "explain" && argc == 3) return CmdExplain(argv[2], options);
+  if (command == "explain" && (argc == 3 || argc == 4)) {
+    if (argc == 4 && argv[3] != "--schema-guided") return Usage();
+    return CmdExplain(argv[2], argc == 4, options);
+  }
   if (command == "serve") return CmdServe(argv);
   return Usage();
 }
