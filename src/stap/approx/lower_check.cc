@@ -145,10 +145,15 @@ bool IsSingleTypeDefinable(const Edtd& edtd) {
 
 StatusOr<bool> IsSingleTypeDefinable(const Edtd& edtd, Budget* budget,
                                      const UpperOptions& options) {
-  StatusOr<DfaXsd> upper = MinimalUpperApproximation(edtd, budget, options);
+  // A single-type schema defines itself; skip the EXPTIME inclusion
+  // below, which blows up on large content models (e.g. expanded
+  // counted bounds) even when the answer is trivially yes.
+  Edtd reduced = ReduceEdtd(edtd);
+  if (IsSingleType(reduced)) return true;
+  StatusOr<DfaXsd> upper = MinimalUpperApproximation(reduced, budget, options);
   if (!upper.ok()) return upper.status();
   // L(edtd) ⊆ L(upper) always; definability is the converse inclusion.
-  return EdtdIncludedInExact(StEdtdFromDfaXsd(*upper), edtd);
+  return EdtdIncludedInExact(StEdtdFromDfaXsd(*upper), reduced);
 }
 
 }  // namespace stap

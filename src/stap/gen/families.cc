@@ -186,6 +186,22 @@ Edtd Example26Edtd() {
   return builder.Build();
 }
 
+Edtd CountedFamily(int min_items, int max_items) {
+  STAP_CHECK(min_items >= 0);
+  STAP_CHECK(max_items >= min_items);
+  STAP_CHECK(max_items >= 1);
+  SchemaBuilder builder;
+  builder.AddType("Doc", "doc",
+                  "Header Item{" + std::to_string(min_items) + "," +
+                      std::to_string(max_items) + "} Footer?");
+  builder.AddType("Header", "header", "%");
+  builder.AddType("Item", "item", "Field{1,3}");
+  builder.AddType("Field", "field", "%");
+  builder.AddType("Footer", "footer", "%");
+  builder.AddStart("Doc");
+  return builder.Build();
+}
+
 Nfa BoundedLetterContext(int symbol, int max_count, int num_symbols) {
   STAP_CHECK(symbol >= 0 && symbol < num_symbols);
   STAP_CHECK(max_count >= 0);

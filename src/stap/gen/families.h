@@ -55,6 +55,15 @@ Edtd Theorem411LowerApproximation(int n);
 // reproduce the worked type automaton.
 Edtd Example26Edtd();
 
+// A counted-content family shaped like real-world occurrence-constrained
+// schemas: a document of min..max items (counted repetition Item{n,m}),
+// each item holding 1..3 fields, plus optional header/footer framing.
+// The schema *source* stays O(1) while the compiled content DFA grows
+// linearly in `max_items`; bench_counted A/Bs that gap through the
+// compile→export pipeline. Requires 0 <= min_items <= max_items,
+// max_items >= 1.
+Edtd CountedFamily(int min_items, int max_items);
+
 // Ambient-schema context for schema-guided determinization benchmarks:
 // the DFA-shaped NFA of all words over `num_symbols` symbols containing
 // at most `max_count` occurrences of `symbol` (states 0..max_count count

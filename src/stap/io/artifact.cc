@@ -12,6 +12,7 @@
 #include "stap/schema/reduce.h"
 #include "stap/schema/text_format.h"
 #include "stap/schema/type_automaton.h"
+#include "stap/schema/xsd_io.h"
 
 namespace stap {
 
@@ -710,9 +711,27 @@ CompiledSchema MakeCompiledSchema(const Edtd& edtd, uint64_t source_hash) {
   return schema;
 }
 
+bool LooksLikeXml(std::string_view text) {
+  for (char c : text) {
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') continue;
+    return c == '<';
+  }
+  return false;
+}
+
 StatusOr<CompiledSchema> CompileSchema(std::string_view schema_text,
                                        CompileCache* cache) {
-  StatusOr<Edtd> edtd = ParseSchema(schema_text, cache);
+  return CompileSchema(schema_text, cache, nullptr);
+}
+
+StatusOr<CompiledSchema> CompileSchema(std::string_view schema_text,
+                                       CompileCache* cache, Budget* budget) {
+  // Route by sniffing: XML documents go through the XSD frontend, which
+  // has its own content-model memoization story (none yet — counted
+  // models bypass the cache); everything else is the textual format.
+  StatusOr<Edtd> edtd = LooksLikeXml(schema_text)
+                            ? ImportXsd(schema_text, budget)
+                            : ParseSchema(schema_text, cache, budget);
   if (!edtd.ok()) return edtd.status();
   return MakeCompiledSchema(*edtd, HashBytes(schema_text));
 }

@@ -31,6 +31,7 @@
 
 #include "stap/automata/dfa.h"
 #include "stap/automata/nfa.h"
+#include "stap/base/budget.h"
 #include "stap/base/status.h"
 #include "stap/schema/edtd.h"
 #include "stap/schema/single_type.h"
@@ -101,10 +102,21 @@ bool LooksLikeArtifact(std::string_view bytes);
 // hashes. `source_hash` identifies the source the schema came from.
 CompiledSchema MakeCompiledSchema(const Edtd& edtd, uint64_t source_hash = 0);
 
-// Parses the textual schema format and compiles it into a CompiledSchema,
-// memoizing content-model compilation through `cache` (null = no cache).
+// True if the text reads as an XML document (first non-whitespace byte is
+// '<'), i.e. a schema source that should go through the XSD importer
+// rather than the textual-format parser.
+bool LooksLikeXml(std::string_view text);
+
+// Parses a schema source — the textual format, or a W3C XSD document
+// (auto-detected via LooksLikeXml) — and compiles it into a
+// CompiledSchema, memoizing textual content-model compilation through
+// `cache` (null = no cache). The budgeted overload charges content-model
+// compilation (counted-repetition expansion, determinize, minimize)
+// against `budget`.
 StatusOr<CompiledSchema> CompileSchema(std::string_view schema_text,
                                        CompileCache* cache);
+StatusOr<CompiledSchema> CompileSchema(std::string_view schema_text,
+                                       CompileCache* cache, Budget* budget);
 
 }  // namespace stap
 

@@ -1,5 +1,6 @@
 #include "stap/regex/ast.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "stap/base/check.h"
@@ -44,6 +45,28 @@ RegexPtr Regex::Optional(RegexPtr child) {
       new Regex(RegexKind::kOptional, kNoSymbol, {std::move(child)}));
 }
 
+RegexPtr Regex::Repeat(RegexPtr child, int min, int max) {
+  STAP_CHECK(min >= 0 && min <= kMaxRepeatBound);
+  STAP_CHECK(max == kUnboundedRepeat || (max >= min && max <= kMaxRepeatBound));
+  // ε{n,m} = ε; ∅{n,m} = ε when n == 0 (zero copies allowed), ∅ otherwise.
+  if (child->kind() == RegexKind::kEpsilon) return child;
+  if (child->kind() == RegexKind::kEmptySet) {
+    return min == 0 ? Epsilon() : child;
+  }
+  if (max == kUnboundedRepeat) {
+    if (min == 0) return Star(std::move(child));
+    if (min == 1) return Plus(std::move(child));
+  } else {
+    if (max == 0) return Epsilon();
+    if (min == 0 && max == 1) return Optional(std::move(child));
+    if (min == 1 && max == 1) return child;
+  }
+  Regex* node = new Regex(RegexKind::kRepeat, kNoSymbol, {std::move(child)});
+  node->repeat_min_ = min;
+  node->repeat_max_ = max;
+  return RegexPtr(node);
+}
+
 RegexPtr Regex::Literal(const Word& word) {
   std::vector<RegexPtr> parts;
   parts.reserve(word.size());
@@ -76,6 +99,8 @@ bool Regex::IsNullable() const {
       return true;
     case RegexKind::kPlus:
       return children_[0]->IsNullable();
+    case RegexKind::kRepeat:
+      return repeat_min_ == 0 || children_[0]->IsNullable();
   }
   return false;
 }
@@ -84,6 +109,67 @@ int Regex::NumNodes() const {
   int count = 1;
   for (const RegexPtr& child : children_) count += child->NumNodes();
   return count;
+}
+
+bool Regex::ContainsRepeat() const {
+  if (kind_ == RegexKind::kRepeat) return true;
+  for (const RegexPtr& child : children_) {
+    if (child->ContainsRepeat()) return true;
+  }
+  return false;
+}
+
+int Regex::MaxSymbol() const {
+  int max_symbol = kind_ == RegexKind::kSymbol ? symbol_ : kNoSymbol;
+  for (const RegexPtr& child : children_) {
+    max_symbol = std::max(max_symbol, child->MaxSymbol());
+  }
+  return max_symbol;
+}
+
+RegexPtr Regex::Substitute(const RegexPtr& regex,
+                           const std::vector<int>& symbol_map) {
+  switch (regex->kind()) {
+    case RegexKind::kEmptySet:
+    case RegexKind::kEpsilon:
+      return regex;
+    case RegexKind::kSymbol: {
+      int a = regex->symbol();
+      if (a < 0 || a >= static_cast<int>(symbol_map.size()) ||
+          symbol_map[a] == kNoSymbol) {
+        return nullptr;
+      }
+      return Symbol(symbol_map[a]);
+    }
+    case RegexKind::kConcat:
+    case RegexKind::kUnion: {
+      std::vector<RegexPtr> children;
+      children.reserve(regex->children().size());
+      for (const RegexPtr& child : regex->children()) {
+        RegexPtr mapped = Substitute(child, symbol_map);
+        if (mapped == nullptr) return nullptr;
+        children.push_back(std::move(mapped));
+      }
+      // Bypass the Concat/Union factories: they would unwrap singleton
+      // vectors, but the input has >= 2 children by construction.
+      return RegexPtr(new Regex(regex->kind(), kNoSymbol, std::move(children)));
+    }
+    case RegexKind::kStar:
+    case RegexKind::kPlus:
+    case RegexKind::kOptional:
+    case RegexKind::kRepeat: {
+      RegexPtr child = Substitute(regex->children()[0], symbol_map);
+      if (child == nullptr) return nullptr;
+      if (regex->kind() == RegexKind::kStar) return Star(std::move(child));
+      if (regex->kind() == RegexKind::kPlus) return Plus(std::move(child));
+      if (regex->kind() == RegexKind::kOptional) {
+        return Optional(std::move(child));
+      }
+      return Repeat(std::move(child), regex->repeat_min(),
+                    regex->repeat_max());
+    }
+  }
+  return nullptr;
 }
 
 namespace {
@@ -132,6 +218,18 @@ void Print(const Regex& regex, const Alphabet& alphabet, int parent_level,
       os << (regex.kind() == RegexKind::kStar
                  ? "*"
                  : regex.kind() == RegexKind::kPlus ? "+" : "?");
+      break;
+    }
+    case RegexKind::kRepeat: {
+      Print(*regex.children()[0], alphabet, kPostfixLevel, os);
+      os << "{" << regex.repeat_min();
+      if (regex.repeat_max() == Regex::kUnboundedRepeat) {
+        os << ",}";
+      } else if (regex.repeat_max() == regex.repeat_min()) {
+        os << "}";
+      } else {
+        os << "," << regex.repeat_max() << "}";
+      }
       break;
     }
   }

@@ -1,5 +1,6 @@
 #include "stap/regex/glushkov.h"
 
+#include <utility>
 #include <vector>
 
 #include "stap/automata/determinize.h"
@@ -21,14 +22,23 @@ struct PositionSets {
 struct Builder {
   std::vector<int> position_symbol;          // 1-based; [0] unused
   std::vector<std::vector<int>> follow;      // 1-based; follow[p]
+  Budget* budget = nullptr;
+  Status status;  // first budget failure; latches and short-circuits
 
   int NewPosition(int symbol) {
+    if (status.ok()) status = Budget::ChargeStates(budget);
     position_symbol.push_back(symbol);
     follow.emplace_back();
     return static_cast<int>(position_symbol.size()) - 1;
   }
 
   void AddFollow(const std::vector<int>& from, const std::vector<int>& to) {
+    if (status.ok()) {
+      status = Budget::ChargeSets(
+          budget, static_cast<int64_t>(from.size()) *
+                      static_cast<int64_t>(to.size()));
+    }
+    if (!status.ok()) return;
     for (int p : from) {
       for (int q : to) follow[p].push_back(q);
     }
@@ -36,6 +46,7 @@ struct Builder {
 
   PositionSets Visit(const Regex& regex) {
     PositionSets result;
+    if (!status.ok()) return result;
     switch (regex.kind()) {
       case RegexKind::kEmptySet:
         break;
@@ -53,6 +64,7 @@ struct Builder {
         bool first_open = true;  // all children so far nullable
         std::vector<int> pending_last;
         for (const RegexPtr& child : regex.children()) {
+          if (!status.ok()) break;
           PositionSets sets = Visit(*child);
           AddFollow(pending_last, sets.first);
           if (first_open) {
@@ -73,6 +85,7 @@ struct Builder {
       }
       case RegexKind::kUnion: {
         for (const RegexPtr& child : regex.children()) {
+          if (!status.ok()) break;
           PositionSets sets = Visit(*child);
           result.nullable = result.nullable || sets.nullable;
           result.first.insert(result.first.end(), sets.first.begin(),
@@ -95,6 +108,44 @@ struct Builder {
         result.last = std::move(sets.last);
         break;
       }
+      case RegexKind::kRepeat: {
+        // Bounded expansion: r{n,m} = r^n·(r?)^{m-n}, r{n,} = r^{n-1}·r+.
+        // Each copy mints fresh positions, so the budget charges in
+        // NewPosition/AddFollow bound the expansion cooperatively; the
+        // loop stops at the first failed charge. Regex::Repeat normalizes
+        // degenerate bounds away, so copies >= 1 here.
+        const Regex& child = *regex.children()[0];
+        const int min = regex.repeat_min();
+        const bool unbounded = regex.repeat_max() == Regex::kUnboundedRepeat;
+        const int copies = unbounded ? min : regex.repeat_max();
+        result.nullable = true;
+        bool first_open = true;
+        std::vector<int> pending_last;
+        for (int i = 0; i < copies; ++i) {
+          if (!status.ok()) break;
+          PositionSets sets = Visit(child);
+          if (unbounded && i == copies - 1) {
+            // The final copy behaves as r+: it may iterate.
+            AddFollow(sets.last, sets.first);
+          }
+          AddFollow(pending_last, sets.first);
+          if (first_open) {
+            result.first.insert(result.first.end(), sets.first.begin(),
+                                sets.first.end());
+          }
+          const bool copy_nullable = sets.nullable || i >= min;
+          if (!copy_nullable) {
+            first_open = false;
+            result.nullable = false;
+            pending_last = std::move(sets.last);
+          } else {
+            pending_last.insert(pending_last.end(), sets.last.begin(),
+                                sets.last.end());
+          }
+        }
+        result.last = std::move(pending_last);
+        break;
+      }
     }
     return result;
   }
@@ -102,11 +153,14 @@ struct Builder {
 
 }  // namespace
 
-Nfa GlushkovAutomaton(const Regex& regex, int num_symbols) {
+StatusOr<Nfa> GlushkovAutomaton(const Regex& regex, int num_symbols,
+                                Budget* budget) {
   Builder builder;
+  builder.budget = budget;
   builder.position_symbol.push_back(kNoSymbol);  // slot for state 0
   builder.follow.emplace_back();
   PositionSets sets = builder.Visit(regex);
+  STAP_RETURN_IF_ERROR(builder.status);
 
   const int num_positions =
       static_cast<int>(builder.position_symbol.size()) - 1;
@@ -126,6 +180,12 @@ Nfa GlushkovAutomaton(const Regex& regex, int num_symbols) {
   return nfa;
 }
 
+Nfa GlushkovAutomaton(const Regex& regex, int num_symbols) {
+  StatusOr<Nfa> nfa = GlushkovAutomaton(regex, num_symbols, nullptr);
+  STAP_CHECK(nfa.ok());
+  return *std::move(nfa);
+}
+
 bool IsOneUnambiguous(const Regex& regex, int num_symbols) {
   Nfa glushkov = GlushkovAutomaton(regex, num_symbols);
   for (int q = 0; q < glushkov.num_states(); ++q) {
@@ -136,8 +196,18 @@ bool IsOneUnambiguous(const Regex& regex, int num_symbols) {
   return true;
 }
 
+StatusOr<Dfa> RegexToDfa(const Regex& regex, int num_symbols, Budget* budget) {
+  StatusOr<Nfa> glushkov = GlushkovAutomaton(regex, num_symbols, budget);
+  if (!glushkov.ok()) return glushkov.status();
+  StatusOr<Dfa> dfa = Determinize(*glushkov, budget);
+  if (!dfa.ok()) return dfa;
+  return Minimize(*dfa, budget);
+}
+
 Dfa RegexToDfa(const Regex& regex, int num_symbols) {
-  return Minimize(Determinize(GlushkovAutomaton(regex, num_symbols)));
+  StatusOr<Dfa> dfa = RegexToDfa(regex, num_symbols, nullptr);
+  STAP_CHECK(dfa.ok());
+  return *std::move(dfa);
 }
 
 }  // namespace stap

@@ -101,11 +101,67 @@ class Parser {
       } else if (c == '?') {
         result = Regex::Optional(std::move(result));
         ++pos_;
+      } else if (c == '{') {
+        StatusOr<RegexPtr> repeated = ParseRepeatBounds(std::move(result));
+        if (!repeated.ok()) return repeated;
+        result = *repeated;
       } else {
         break;
       }
     }
     return result;
+  }
+
+  // Parses "{n}", "{n,}" or "{n,m}" starting at the '{' and applies it to
+  // `operand`. Bounds are overflow-checked against Regex::kMaxRepeatBound.
+  StatusOr<RegexPtr> ParseRepeatBounds(RegexPtr operand) {
+    ++pos_;  // consume '{'
+    int min = 0;
+    int max = 0;
+    if (!ParseBound(&min)) {
+      return InvalidArgumentError(
+          "expected a repetition bound in 0..1000000000 after '{' at offset " +
+          std::to_string(pos_));
+    }
+    if (pos_ < input_.size() && input_[pos_] == ',') {
+      ++pos_;
+      if (pos_ < input_.size() && input_[pos_] == '}') {
+        max = Regex::kUnboundedRepeat;  // {n,}
+      } else if (!ParseBound(&max)) {
+        return InvalidArgumentError(
+            "expected a repetition bound in 0..1000000000 after ',' at offset " +
+            std::to_string(pos_));
+      }
+    } else {
+      max = min;  // {n}
+    }
+    if (pos_ >= input_.size() || input_[pos_] != '}') {
+      return InvalidArgumentError("missing '}' in repetition at offset " +
+                                  std::to_string(pos_));
+    }
+    ++pos_;
+    if (max != Regex::kUnboundedRepeat && min > max) {
+      return InvalidArgumentError(
+          "invalid repetition {" + std::to_string(min) + "," +
+          std::to_string(max) + "}: minimum exceeds maximum");
+    }
+    return Regex::Repeat(std::move(operand), min, max);
+  }
+
+  // Overflow-checked decimal bound; false if no digit is present. Values
+  // above Regex::kMaxRepeatBound fail rather than wrapping.
+  bool ParseBound(int* out) {
+    size_t start = pos_;
+    int64_t value = 0;
+    while (pos_ < input_.size() &&
+           std::isdigit(static_cast<unsigned char>(input_[pos_]))) {
+      value = value * 10 + (input_[pos_] - '0');
+      if (value > Regex::kMaxRepeatBound) return false;
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    *out = static_cast<int>(value);
+    return true;
   }
 
   StatusOr<RegexPtr> ParseAtom() {

@@ -31,6 +31,7 @@ Edtd SchemaBuilder::Build() const {
         ParseRegex(source, &resolver, /*intern_new_symbols=*/false);
     STAP_CHECK_OK(regex.status());
     edtd.content.push_back(RegexToDfa(**regex, types_.size()));
+    edtd.content_source.push_back(*regex);
   }
   for (const std::string& name : start_names_) {
     int id = edtd.types.Find(name);

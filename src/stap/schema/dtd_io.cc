@@ -249,6 +249,27 @@ RegexPtr NormalizeForDtd(const Regex& regex) {
       if (regex.kind() == RegexKind::kPlus) return Regex::Plus(child);
       return Regex::Optional(child);
     }
+    case RegexKind::kRepeat: {
+      // DTD content particles have no counted repetition; expand
+      // r{n,m} = r^n·(r?)^{m-n} and r{n,} = r^{n-1}·r+.
+      RegexPtr child = NormalizeForDtd(*regex.children()[0]);
+      if (child == nullptr) return nullptr;
+      const int min = regex.repeat_min();
+      const bool unbounded = regex.repeat_max() == Regex::kUnboundedRepeat;
+      const int copies = unbounded ? min : regex.repeat_max();
+      std::vector<RegexPtr> parts;
+      parts.reserve(copies);
+      for (int i = 0; i < copies; ++i) {
+        if (unbounded && i == copies - 1) {
+          parts.push_back(Regex::Plus(child));
+        } else if (i >= min) {
+          parts.push_back(Regex::Optional(child));
+        } else {
+          parts.push_back(child);
+        }
+      }
+      return Regex::Concat(std::move(parts));
+    }
   }
   return nullptr;
 }

@@ -97,6 +97,11 @@ void Edtd::CheckWellFormed() const {
   for (int tau : start_types) {
     STAP_CHECK(tau >= 0 && tau < num_types());
   }
+  STAP_CHECK(content_source.empty() ||
+             static_cast<int>(content_source.size()) == num_types());
+  for (const RegexPtr& source : content_source) {
+    if (source != nullptr) STAP_CHECK(source->MaxSymbol() < num_types());
+  }
 }
 
 std::string Edtd::ToString() const {

@@ -17,6 +17,7 @@
 
 #include "stap/automata/alphabet.h"
 #include "stap/automata/dfa.h"
+#include "stap/regex/ast.h"
 #include "stap/schema/dtd.h"
 #include "stap/tree/tree.h"
 
@@ -28,6 +29,15 @@ struct Edtd {
   std::vector<int> mu;           // μ : type id -> symbol id
   std::vector<int> start_types;  // sorted set S_d ⊆ ∆
   std::vector<Dfa> content;      // content[τ] over ∆
+
+  // Optional content-model provenance: the regex (over ∆) each content
+  // DFA was compiled from, preserving counted repetition r{n,m} that the
+  // DFA expands away. Either empty (no provenance) or sized num_types(),
+  // entry-wise nullable. Invariant: content_source[τ] != nullptr implies
+  // L(content_source[τ]) == L(content[τ]). Transformations that cannot
+  // maintain the invariant null the entry; consumers (export, printing)
+  // must treat it as a hint, never as the ground truth.
+  std::vector<RegexPtr> content_source;
 
   // Views a DTD as the EDTD with one type per symbol.
   static Edtd FromDtd(const Dtd& dtd);

@@ -73,9 +73,13 @@ DfaXsd Canonicalize(const DfaXsd& xsd) {
   result.automaton.SetInitial(0);
   result.state_label.resize(order.size());
   result.content.resize(order.size(), Dfa::EmptyLanguage(num_symbols));
+  if (!xsd.content_source.empty()) result.content_source.resize(order.size());
   for (int q : order) {
     result.state_label[remap[q]] = xsd.state_label[q];
     result.content[remap[q]] = xsd.content[q];
+    if (!xsd.content_source.empty()) {
+      result.content_source[remap[q]] = xsd.content_source[q];
+    }
     for (int a = 0; a < num_symbols; ++a) {
       int r = xsd.automaton.Next(q, a);
       if (r != kNoState && remap[r] != kNoState) {
@@ -158,10 +162,16 @@ StatusOr<DfaXsd> MinimizeXsd(const DfaXsd& input, Budget* budget) {
   quotient.automaton.SetInitial(0);
   quotient.state_label.assign(num_blocks, kNoSymbol);
   quotient.content.assign(num_blocks, Dfa::EmptyLanguage(num_symbols));
+  if (!xsd.content_source.empty()) quotient.content_source.resize(num_blocks);
   for (int q = 0; q < n; ++q) {
     int b = block_state[block[q]];
     quotient.state_label[b] = xsd.state_label[q];
     quotient.content[b] = xsd.content[q];
+    if (!xsd.content_source.empty() && xsd.content_source[q] != nullptr) {
+      // Merged states share one content language (the initial partition
+      // keys on it), so any member's provenance serves the block.
+      quotient.content_source[b] = xsd.content_source[q];
+    }
     for (int a = 0; a < num_symbols; ++a) {
       int r = xsd.automaton.Next(q, a);
       if (r != kNoState) {
@@ -188,6 +198,9 @@ StatusOr<DfaXsd> MinimizeXsdUnderContext(const DfaXsd& input,
   // context-live word become structurally identical. MinimizeXsd's
   // block partition then merges the states they label.
   DfaXsd xsd = input;
+  // Context-guided re-canonicalization rewrites the content languages
+  // themselves, so any counted-source provenance would go stale.
+  xsd.content_source.clear();
   const int init = xsd.automaton.initial();
   for (int q = 0; q < xsd.automaton.num_states(); ++q) {
     if (q == init) continue;

@@ -109,11 +109,20 @@ Edtd ReduceEdtd(const Edtd& input) {
   result.types = new_types;
   result.mu.resize(new_n);
   result.content.resize(new_n);
+  if (!input.content_source.empty()) result.content_source.resize(new_n);
   for (int tau = 0; tau < n; ++tau) {
     if (remap[tau] == kNoSymbol) continue;
     result.mu[remap[tau]] = input.mu[tau];
     result.content[remap[tau]] =
         Minimize(RemapSymbols(restricted[tau], remap, new_n));
+    if (!input.content_source.empty() &&
+        input.content_source[tau] != nullptr) {
+      // A source mentioning a dropped (unproductive/unreachable) type
+      // substitutes to nullptr: restricting the content language could
+      // change it there, so the provenance is no longer trustworthy.
+      result.content_source[remap[tau]] =
+          Regex::Substitute(input.content_source[tau], remap);
+    }
   }
   for (int tau : input.start_types) {
     if (remap[tau] != kNoSymbol) {

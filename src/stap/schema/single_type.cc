@@ -85,6 +85,11 @@ void DfaXsd::CheckWellFormed() const {
     }
     if (q != init) STAP_CHECK(content[q].num_symbols() == sigma.size());
   }
+  STAP_CHECK(content_source.empty() ||
+             static_cast<int>(content_source.size()) == automaton.num_states());
+  for (const RegexPtr& source : content_source) {
+    if (source != nullptr) STAP_CHECK(source->MaxSymbol() < sigma.size());
+  }
 }
 
 std::string DfaXsd::ToString() const {
@@ -138,6 +143,16 @@ DfaXsd DfaXsdFromStEdtd(const Edtd& edtd) {
                                  edtd.num_symbols());
     xsd.content[TypeAutomaton::StateOfType(tau)] = MinimizeNfa(image);
   }
+  if (!edtd.content_source.empty()) {
+    // Substituting μ into the source regex is exactly the homomorphic
+    // image at the syntax level, so the provenance invariant carries over.
+    xsd.content_source.resize(nfa.num_states());
+    for (int tau = 0; tau < edtd.num_types(); ++tau) {
+      if (edtd.content_source[tau] == nullptr) continue;
+      xsd.content_source[TypeAutomaton::StateOfType(tau)] =
+          Regex::Substitute(edtd.content_source[tau], edtd.mu);
+    }
+  }
   xsd.CheckWellFormed();
   return xsd;
 }
@@ -186,6 +201,21 @@ Edtd StEdtdFromDfaXsd(const DfaXsd& xsd) {
     }
     edtd.content.push_back(Minimize(
         InverseHomomorphism(xsd.content[q], type_to_symbol, num_types)));
+    if (!xsd.content_source.empty()) {
+      // δ(q, ·) is deterministic, so each symbol lifts to at most one
+      // type; substituting that map into the source regex picks the
+      // unique preimage word-by-word. A source mentioning a symbol with
+      // no transition from q substitutes to nullptr (provenance dropped).
+      std::vector<int> symbol_to_type(xsd.sigma.size(), kNoSymbol);
+      for (int a = 0; a < xsd.sigma.size(); ++a) {
+        int next = xsd.automaton.Next(q, a);
+        if (next != kNoState) symbol_to_type[a] = type_of_state[next];
+      }
+      edtd.content_source.push_back(
+          xsd.content_source[q] == nullptr
+              ? nullptr
+              : Regex::Substitute(xsd.content_source[q], symbol_to_type));
+    }
   }
   edtd.CheckWellFormed();
   return edtd;

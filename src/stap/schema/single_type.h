@@ -14,6 +14,7 @@
 
 #include "stap/automata/alphabet.h"
 #include "stap/automata/dfa.h"
+#include "stap/regex/ast.h"
 #include "stap/schema/edtd.h"
 #include "stap/tree/tree.h"
 
@@ -28,6 +29,13 @@ struct DfaXsd {
   std::vector<int> state_label;  // kNoSymbol for q_init
 
   std::vector<Dfa> content;  // per state, over Σ; content[0] is unused
+
+  // Optional per-state content provenance (over Σ), mirroring
+  // Edtd::content_source: empty or sized num_states(), entry-wise
+  // nullable, and non-null entries denote the same language as the
+  // corresponding content DFA. Preserves counted repetition across
+  // compile → export round trips.
+  std::vector<RegexPtr> content_source;
 
   // Number of types (non-initial states) — the paper's type-size measure.
   int type_size() const { return automaton.num_states() - 1; }

@@ -73,6 +73,11 @@ StatusOr<Edtd> ParseSchema(std::string_view input) {
 }
 
 StatusOr<Edtd> ParseSchema(std::string_view input, CompileCache* cache) {
+  return ParseSchema(input, cache, nullptr);
+}
+
+StatusOr<Edtd> ParseSchema(std::string_view input, CompileCache* cache,
+                           Budget* budget) {
   StatusOr<SchemaDeclarations> decls = ParseSchemaDeclarations(input);
   if (!decls.ok()) return decls.status();
 
@@ -85,14 +90,16 @@ StatusOr<Edtd> ParseSchema(std::string_view input, CompileCache* cache) {
   // after all declarations are in, with the final type count. With a
   // cache, each (source, type alphabet) pair compiles at most once per
   // process; the compiled minimal DFA is copied out of the shared entry.
+  // A caller-supplied budget bypasses the cache: a quota-limited compile
+  // must neither publish a partial result nor consume someone else's.
   for (const std::string& source : decls->content_sources) {
+    StatusOr<RegexPtr> regex =
+        ParseRegex(source, &edtd.types, /*intern_new_symbols=*/false);
+    if (!regex.ok()) return regex.status();
     auto compile = [&]() -> StatusOr<Dfa> {
-      StatusOr<RegexPtr> regex =
-          ParseRegex(source, &edtd.types, /*intern_new_symbols=*/false);
-      if (!regex.ok()) return regex.status();
-      return RegexToDfa(**regex, edtd.types.size());
+      return RegexToDfa(**regex, edtd.types.size(), budget);
     };
-    if (cache == nullptr) {
+    if (cache == nullptr || budget != nullptr) {
       StatusOr<Dfa> dfa = compile();
       if (!dfa.ok()) return dfa.status();
       edtd.content.push_back(std::move(*dfa));
@@ -102,6 +109,7 @@ StatusOr<Edtd> ParseSchema(std::string_view input, CompileCache* cache) {
       if (!dfa.ok()) return dfa.status();
       edtd.content.push_back(**dfa);
     }
+    edtd.content_source.push_back(*regex);
   }
   edtd.CheckWellFormed();
   return edtd;
@@ -113,7 +121,17 @@ std::string SchemaToText(const Edtd& edtd) {
   for (int tau : edtd.start_types) os << " " << edtd.types.Name(tau);
   os << "\n";
   for (int tau = 0; tau < edtd.num_types(); ++tau) {
-    RegexPtr regex = DfaToRegex(edtd.content[tau]);
+    // Prefer the retained source regex when it carries counted repetition:
+    // DfaToRegex would render the expansion, losing the bounds. Elsewhere
+    // the state-eliminated form stays the canonical rendering.
+    RegexPtr regex;
+    if (tau < static_cast<int>(edtd.content_source.size()) &&
+        edtd.content_source[tau] != nullptr &&
+        edtd.content_source[tau]->ContainsRepeat()) {
+      regex = edtd.content_source[tau];
+    } else {
+      regex = DfaToRegex(edtd.content[tau]);
+    }
     os << "type " << edtd.types.Name(tau) << " : "
        << edtd.sigma.Name(edtd.mu[tau]) << " -> "
        << regex->ToString(edtd.types) << "\n";

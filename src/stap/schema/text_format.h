@@ -18,6 +18,7 @@
 #include <string>
 #include <string_view>
 
+#include "stap/base/budget.h"
 #include "stap/base/status.h"
 #include "stap/schema/edtd.h"
 
@@ -26,6 +27,8 @@ namespace stap {
 class CompileCache;
 
 // Parses the textual format into an EDTD (not automatically reduced).
+// The parsed content regexes are retained in Edtd::content_source, so
+// counted repetition (r{n,m}) survives later export.
 StatusOr<Edtd> ParseSchema(std::string_view input);
 
 // As above, but memoizes content-model compilation (Glushkov →
@@ -34,6 +37,13 @@ StatusOr<Edtd> ParseSchema(std::string_view input);
 // model once per process. A null cache compiles directly. Thread-safe
 // for concurrent calls sharing one cache.
 StatusOr<Edtd> ParseSchema(std::string_view input, CompileCache* cache);
+
+// As above with a compilation budget: content-model expansion (counted
+// repetition), determinization, and minimization charge `budget` and fail
+// with kResourceExhausted when it trips. A non-null budget bypasses the
+// cache so one caller's quota never decides another's entry.
+StatusOr<Edtd> ParseSchema(std::string_view input, CompileCache* cache,
+                           Budget* budget);
 
 // The raw declarations of a schema file, before content compilation —
 // shared by the DFA-content (ParseSchema) and NFA-content

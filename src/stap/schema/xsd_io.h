@@ -12,11 +12,24 @@
 //   particle ::= <xs:sequence occurs> particle* </xs:sequence>
 //              | <xs:choice occurs> particle* </xs:choice>
 //              | <xs:element name="..." type="T" occurs/>
-//   occurs   ::= minOccurs="0|1" maxOccurs="0|1|unbounded"
+//   occurs   ::= minOccurs="<integer>" maxOccurs="<integer>|unbounded"
 //
-// No attributes-on-content, simple types, groups, any-wildcards,
-// substitution groups, or namespaces beyond the `xs:` prefix. Exported
-// documents always stay within the subset, so export→import round-trips.
+// Occurrence bounds are arbitrary decimal integers (overflow-checked
+// against Regex::kMaxRepeatBound); they import as counted repetition
+// r{n,m} and are preserved — not expanded — on export. minOccurs >
+// maxOccurs is rejected; maxOccurs="0" drops the particle (its content
+// contributes ε), unless an explicit minOccurs > 0 contradicts it.
+//
+// The `xs:` prefix is not hard-coded: the importer resolves, from the
+// root's xmlns declarations, every prefix bound to
+// http://www.w3.org/2001/XMLSchema (including the default namespace) and
+// matches local names under any of them. A root prefix with no xmlns
+// declaration at all is accepted by convention, so bare <schema> and
+// <xs:schema> documents without namespace boilerplate keep working.
+//
+// No attributes-on-content, simple types, groups, any-wildcards, or
+// substitution groups. Exported documents always stay within the subset,
+// so export→import round-trips.
 //
 // NOTE: exported content models come from state elimination and need not
 // satisfy UPA (Section 5 explains why a best deterministic expression may
@@ -28,6 +41,7 @@
 #include <string>
 #include <string_view>
 
+#include "stap/base/budget.h"
 #include "stap/base/status.h"
 #include "stap/schema/single_type.h"
 
@@ -43,12 +57,19 @@ struct XsdExportOptions {
   bool repair_upa = false;
 };
 
-// Renders the schema as a W3C-style XSD document.
+// Renders the schema as a W3C-style XSD document. When the schema carries
+// content_source provenance with counted repetition, those models are
+// emitted with numeric minOccurs/maxOccurs instead of the expanded
+// state-eliminated expression.
 std::string ExportXsd(const DfaXsd& xsd, const XsdExportOptions& options = {});
 
 // Parses the supported XSD subset into an EDTD (one type per global
 // element / complexType pairing). The result is single-type whenever the
-// source satisfies EDC; it is returned unreduced.
+// source satisfies EDC; it is returned unreduced, with content_source
+// provenance for each type. Content-model compilation (counted-repetition
+// expansion, determinize, minimize) charges `budget` when non-null and
+// fails with kResourceExhausted when a quota trips.
+StatusOr<Edtd> ImportXsd(std::string_view xml, Budget* budget);
 StatusOr<Edtd> ImportXsd(std::string_view xml);
 
 }  // namespace stap

@@ -38,6 +38,20 @@ TEST(DefinabilityTest, KnownLanguages) {
   EXPECT_FALSE(IsSingleTypeDefinable(EdtdUnion(d1, d2)));
 }
 
+// Regression: a single-type schema is definable by itself, and the check
+// must short-circuit instead of running the EXPTIME exact inclusion —
+// with counted content models like Item{1,500} the exact search took
+// hours, which used to hang `stap check` on imported .xsd files.
+TEST(DefinabilityTest, SingleTypeShortCircuitsOnCountedContent) {
+  SchemaBuilder builder;
+  builder.AddType("Catalog", "catalog", "Product{1,500}");
+  builder.AddType("Product", "product", "Name Tag{0,10}");
+  builder.AddType("Name", "name", "%");
+  builder.AddType("Tag", "tag", "%");
+  builder.AddStart("Catalog");
+  EXPECT_TRUE(IsSingleTypeDefinable(builder.Build()));
+}
+
 // A finite non-definable target: { r(x(a), y(a)), r(x(b), y(b)) } — its
 // closure adds the two mixed documents.
 Edtd FiniteTarget() {

@@ -6,6 +6,7 @@
 
 #include "stap/automata/inclusion.h"
 #include "stap/automata/minimize.h"
+#include "stap/base/budget.h"
 #include "stap/regex/ast.h"
 #include "stap/regex/from_dfa.h"
 #include "stap/regex/glushkov.h"
@@ -136,6 +137,100 @@ TEST(RegexToDfaTest, LiteralWord) {
   EXPECT_TRUE(dfa.Accepts({0, 1, 0}));
   EXPECT_FALSE(dfa.Accepts({0, 1}));
   EXPECT_EQ(dfa.num_states(), 4);
+}
+
+TEST(RepeatTest, FactoryNormalizesDegenerateBounds) {
+  RegexPtr a = Regex::Symbol(0);
+  EXPECT_EQ(Regex::Repeat(a, 0, Regex::kUnboundedRepeat)->kind(),
+            RegexKind::kStar);
+  EXPECT_EQ(Regex::Repeat(a, 1, Regex::kUnboundedRepeat)->kind(),
+            RegexKind::kPlus);
+  EXPECT_EQ(Regex::Repeat(a, 0, 1)->kind(), RegexKind::kOptional);
+  EXPECT_EQ(Regex::Repeat(a, 1, 1), a);
+  EXPECT_EQ(Regex::Repeat(a, 0, 0)->kind(), RegexKind::kEpsilon);
+  RegexPtr counted = Regex::Repeat(a, 2, 4);
+  ASSERT_EQ(counted->kind(), RegexKind::kRepeat);
+  EXPECT_EQ(counted->repeat_min(), 2);
+  EXPECT_EQ(counted->repeat_max(), 4);
+  EXPECT_TRUE(counted->ContainsRepeat());
+  EXPECT_FALSE(a->ContainsRepeat());
+}
+
+TEST(RepeatTest, ParserHandlesCountedBounds) {
+  Alphabet alphabet;
+  RegexPtr ranged = Parse("a{2,4}", &alphabet);
+  ASSERT_EQ(ranged->kind(), RegexKind::kRepeat);
+  EXPECT_EQ(ranged->repeat_min(), 2);
+  EXPECT_EQ(ranged->repeat_max(), 4);
+  RegexPtr exact = Parse("a{3}", &alphabet);
+  ASSERT_EQ(exact->kind(), RegexKind::kRepeat);
+  EXPECT_EQ(exact->repeat_min(), 3);
+  EXPECT_EQ(exact->repeat_max(), 3);
+  RegexPtr open = Parse("a{2,}", &alphabet);
+  ASSERT_EQ(open->kind(), RegexKind::kRepeat);
+  EXPECT_EQ(open->repeat_max(), Regex::kUnboundedRepeat);
+  EXPECT_TRUE(Parse("a{0,3}", &alphabet)->IsNullable());
+  EXPECT_FALSE(Parse("a{2,4}", &alphabet)->IsNullable());
+  EXPECT_TRUE(Parse("(a?){2,4}", &alphabet)->IsNullable());
+
+  EXPECT_FALSE(ParseRegex("a{,3}", &alphabet).ok());
+  EXPECT_FALSE(ParseRegex("a{5,2}", &alphabet).ok());
+  EXPECT_FALSE(ParseRegex("a{2", &alphabet).ok());
+  EXPECT_FALSE(ParseRegex("a{}", &alphabet).ok());
+  EXPECT_FALSE(ParseRegex("a{9999999999}", &alphabet).ok());
+}
+
+TEST(RepeatTest, PrinterRoundTripsCountedBounds) {
+  Alphabet alphabet;
+  for (const char* source :
+       {"a{2,4}", "a{3}", "(a b){1,2} c", "a{2,} b?", "(a | b){0,2}"}) {
+    RegexPtr regex = Parse(source, &alphabet);
+    std::string printed = regex->ToString(alphabet);
+    RegexPtr reparsed = Parse(printed, &alphabet);
+    EXPECT_TRUE(DfaEquivalent(RegexToDfa(*regex, alphabet.size()),
+                              RegexToDfa(*reparsed, alphabet.size())))
+        << source << " vs " << printed;
+  }
+}
+
+TEST(RepeatTest, GlushkovExpansionMatchesCountedSemantics) {
+  Alphabet alphabet;
+  RegexPtr ranged = Parse("a{2,4}", &alphabet);
+  Dfa dfa = RegexToDfa(*ranged, alphabet.size());
+  for (int k = 0; k <= 6; ++k) {
+    EXPECT_EQ(dfa.Accepts(Word(k, 0)), k >= 2 && k <= 4) << "k=" << k;
+  }
+  RegexPtr open = Parse("(a b){2,}", &alphabet);
+  Dfa open_dfa = RegexToDfa(*open, alphabet.size());
+  EXPECT_FALSE(open_dfa.Accepts({0, 1}));
+  EXPECT_TRUE(open_dfa.Accepts({0, 1, 0, 1}));
+  EXPECT_TRUE(open_dfa.Accepts({0, 1, 0, 1, 0, 1}));
+  EXPECT_FALSE(open_dfa.Accepts({0, 1, 0}));
+  // A nullable body keeps the lower bound honest: (a?){2,3} accepts ε.
+  RegexPtr nullable = Parse("(a?){2,3}", &alphabet);
+  Dfa nullable_dfa = RegexToDfa(*nullable, alphabet.size());
+  for (int k = 0; k <= 4; ++k) {
+    EXPECT_EQ(nullable_dfa.Accepts(Word(k, 0)), k <= 3) << "k=" << k;
+  }
+}
+
+TEST(RepeatTest, HostileBoundsExhaustStateBudget) {
+  Alphabet alphabet;
+  RegexPtr hostile = Parse("a{1,1000000}", &alphabet);
+  Budget budget;
+  budget.set_max_states(10000);
+  StatusOr<Dfa> dfa = RegexToDfa(*hostile, alphabet.size(), &budget);
+  ASSERT_FALSE(dfa.ok());
+  EXPECT_EQ(dfa.status().code(), StatusCode::kResourceExhausted)
+      << dfa.status();
+  // The same expression under a sufficient budget still compiles.
+  Budget roomy;
+  roomy.set_max_states(5000);
+  StatusOr<Dfa> small = RegexToDfa(*Parse("a{1,100}", &alphabet),
+                                   alphabet.size(), &roomy);
+  ASSERT_TRUE(small.ok()) << small.status();
+  EXPECT_TRUE(small->Accepts(Word(100, 0)));
+  EXPECT_FALSE(small->Accepts(Word(101, 0)));
 }
 
 TEST(DfaToRegexTest, RoundTripsPreserveLanguage) {

@@ -126,7 +126,9 @@ int Usage() {
          "  family <name> <n>             generate a lower-bound family\n"
          "                                (theorem32, theorem36a/b,\n"
          "                                theorem38a/b, theorem43a/b,\n"
-         "                                theorem411; 43/411 ignore n)\n"
+         "                                theorem411, counted;\n"
+         "                                43/411 ignore n, counted uses\n"
+         "                                Item{n,2n})\n"
          "  explain <schema>              approximate and print a per-phase\n"
          "                                provenance table\n"
          "          [--schema-guided]     run content merges through the\n"
@@ -142,7 +144,9 @@ int Usage() {
          "                                --request-max-sets=N\n"
          "global flags: --jobs=N --budget-ms=N --max-states=N --max-sets=N\n"
          "              --metrics-json[=file] --metrics-prom[=file]\n"
-         "              --trace-json[=file]  (exit 3 = budget exhausted)\n";
+         "              --trace-json[=file]  (exit 3 = budget exhausted)\n"
+         "schema arguments accept the textual format (docs/FORMAT.md) or a\n"
+         "W3C .xsd document (auto-detected by a leading '<')\n";
   return 2;
 }
 
@@ -154,10 +158,15 @@ StatusOr<std::string> ReadFile(const std::string& path) {
   return buffer.str();
 }
 
-StatusOr<Edtd> LoadSchema(const std::string& path) {
+// Loads a schema source for the analysis commands: a W3C XSD document
+// (sniffed via LooksLikeXml) goes through the XSD importer, anything else
+// through the textual-format parser. Content-model compilation — including
+// counted-repetition expansion — is charged against `budget` when set.
+StatusOr<Edtd> LoadSchema(const std::string& path, Budget* budget = nullptr) {
   StatusOr<std::string> text = ReadFile(path);
   if (!text.ok()) return text.status();
-  return ParseSchema(*text);
+  if (LooksLikeXml(*text)) return ImportXsd(*text, budget);
+  return ParseSchema(*text, /*cache=*/nullptr, budget);
 }
 
 int Fail(const Status& status) {
@@ -312,14 +321,15 @@ int DumpTrace(GlobalOptions& options, int exit_code) {
 // deserialized as-is; textual schemas compile through the process-wide
 // content-model cache (so repeated invocations in one process — and the
 // batch tests — share compilations).
-StatusOr<CompiledSchema> LoadCompiledSchema(const std::string& path) {
+StatusOr<CompiledSchema> LoadCompiledSchema(const std::string& path,
+                                            Budget* budget = nullptr) {
   StatusOr<std::string> bytes = ReadFile(path);
   if (!bytes.ok()) return bytes.status();
   if (LooksLikeArtifact(*bytes)) return DeserializeArtifact(*bytes);
-  return CompileSchema(*bytes, CompileCache::Global());
+  return CompileSchema(*bytes, CompileCache::Global(), budget);
 }
 
-int CmdCompile(const std::vector<std::string>& argv) {
+int CmdCompile(const std::vector<std::string>& argv, Budget* budget) {
   // compile <schema> -o <artifact>
   if (argv.size() != 5 || argv[3] != "-o") return Usage();
   StatusOr<std::string> text = ReadFile(argv[2]);
@@ -329,7 +339,7 @@ int CmdCompile(const std::vector<std::string>& argv) {
                                      "' is already a compiled artifact"));
   }
   StatusOr<CompiledSchema> schema =
-      CompileSchema(*text, CompileCache::Global());
+      CompileSchema(*text, CompileCache::Global(), budget);
   if (!schema.ok()) return Fail(schema.status());
   const std::string bytes = SerializeArtifact(*schema);
   std::ofstream out(argv[4], std::ios::binary);
@@ -372,7 +382,8 @@ int ValidateSingle(const CompiledSchema& schema, const std::string& doc_path) {
 
 int CmdValidate(const std::vector<std::string>& argv,
                 const GlobalOptions& options) {
-  StatusOr<CompiledSchema> schema = LoadCompiledSchema(argv[2]);
+  StatusOr<CompiledSchema> schema =
+      LoadCompiledSchema(argv[2], options.budget_ptr());
   if (!schema.ok()) return Fail(schema.status());
   if (argv.size() == 4 && options.jobs < 0) {
     return ValidateSingle(*schema, argv[3]);
@@ -402,8 +413,8 @@ int CmdValidate(const std::vector<std::string>& argv,
   return result.all_valid() ? 0 : 1;
 }
 
-int CmdCheck(const std::string& schema_path) {
-  StatusOr<Edtd> schema = LoadSchema(schema_path);
+int CmdCheck(const std::string& schema_path, Budget* budget) {
+  StatusOr<Edtd> schema = LoadSchema(schema_path, budget);
   if (!schema.ok()) return Fail(schema.status());
   Edtd reduced = ReduceEdtd(*schema);
   std::cout << "types (declared):  " << schema->num_types() << "\n"
@@ -430,8 +441,8 @@ int PrintXsd(const DfaXsd& xsd) {
   return 0;
 }
 
-int CmdSample(const std::string& schema_path, int count) {
-  StatusOr<Edtd> schema = LoadSchema(schema_path);
+int CmdSample(const std::string& schema_path, int count, Budget* budget) {
+  StatusOr<Edtd> schema = LoadSchema(schema_path, budget);
   if (!schema.ok()) return Fail(schema.status());
   Edtd reduced = ReduceEdtd(*schema);
   if (reduced.num_types() == 0) return Fail(InvalidArgumentError(
@@ -459,7 +470,7 @@ int CmdSample(const std::string& schema_path, int count) {
 // in the Chrome trace; otherwise records into a throwaway local session.
 int CmdExplain(const std::string& schema_path, bool schema_guided,
                GlobalOptions& options) {
-  StatusOr<Edtd> schema = LoadSchema(schema_path);
+  StatusOr<Edtd> schema = LoadSchema(schema_path, options.budget_ptr());
   if (!schema.ok()) return Fail(schema.status());
 
   Counter* const determinize_states = GetCounter("determinize.states_created");
@@ -617,18 +628,18 @@ int RunCommand(const std::vector<std::string>& argv, GlobalOptions& options) {
   std::string command = argv[1];
 
   auto load2 = [&](StatusOr<Edtd>* d1, StatusOr<Edtd>* d2) {
-    *d1 = LoadSchema(argv[2]);
-    *d2 = LoadSchema(argv[3]);
+    *d1 = LoadSchema(argv[2], budget);
+    *d2 = LoadSchema(argv[3], budget);
     return d1->ok() && d2->ok();
   };
 
   if (command == "validate" && argc >= 4) {
     return CmdValidate(argv, options);
   }
-  if (command == "compile") return CmdCompile(argv);
-  if (command == "check" && argc == 3) return CmdCheck(argv[2]);
+  if (command == "compile") return CmdCompile(argv, budget);
+  if (command == "check" && argc == 3) return CmdCheck(argv[2], budget);
   if (command == "minimize" && argc == 3) {
-    StatusOr<Edtd> schema = LoadSchema(argv[2]);
+    StatusOr<Edtd> schema = LoadSchema(argv[2], budget);
     if (!schema.ok()) return Fail(schema.status());
     Edtd reduced = ReduceEdtd(*schema);
     if (!IsSingleType(reduced)) {
@@ -638,7 +649,7 @@ int RunCommand(const std::vector<std::string>& argv, GlobalOptions& options) {
     return PrintXsd(DfaXsdFromStEdtd(reduced));
   }
   if (command == "approx" && argc == 3) {
-    StatusOr<Edtd> schema = LoadSchema(argv[2]);
+    StatusOr<Edtd> schema = LoadSchema(argv[2], budget);
     if (!schema.ok()) return Fail(schema.status());
     StatusOr<DfaXsd> xsd = MinimalUpperApproximation(*schema, budget);
     if (!xsd.ok()) return Fail(xsd.status());
@@ -686,7 +697,7 @@ int RunCommand(const std::vector<std::string>& argv, GlobalOptions& options) {
     return PrintXsd(LowerUnionFixingFirst(r1, r2));
   }
   if (command == "complement" && argc == 3) {
-    StatusOr<Edtd> schema = LoadSchema(argv[2]);
+    StatusOr<Edtd> schema = LoadSchema(argv[2], budget);
     if (!schema.ok()) return Fail(schema.status());
     Edtd reduced = ReduceEdtd(*schema);
     if (!IsSingleType(reduced)) {
@@ -702,12 +713,12 @@ int RunCommand(const std::vector<std::string>& argv, GlobalOptions& options) {
     if (argc == 4 && !ParseCount(argv[3], 1, 1000000, &count)) {
       return BadCount("sample count", argv[3], 1, 1000000);
     }
-    return CmdSample(argv[2], count);
+    return CmdSample(argv[2], count, budget);
   }
   if (command == "witness" && argc == 4) {
-    StatusOr<Edtd> d1 = LoadSchema(argv[2]);
+    StatusOr<Edtd> d1 = LoadSchema(argv[2], budget);
     if (!d1.ok()) return Fail(d1.status());
-    StatusOr<Edtd> d2 = LoadSchema(argv[3]);
+    StatusOr<Edtd> d2 = LoadSchema(argv[3], budget);
     if (!d2.ok()) return Fail(d2.status());
     Edtd r2 = ReduceEdtd(*d2);
     if (!IsSingleType(r2)) {
@@ -729,9 +740,9 @@ int RunCommand(const std::vector<std::string>& argv, GlobalOptions& options) {
     return 1;
   }
   if (command == "report" && argc == 4) {
-    StatusOr<Edtd> d1 = LoadSchema(argv[2]);
+    StatusOr<Edtd> d1 = LoadSchema(argv[2], budget);
     if (!d1.ok()) return Fail(d1.status());
-    StatusOr<Edtd> d2 = LoadSchema(argv[3]);
+    StatusOr<Edtd> d2 = LoadSchema(argv[3], budget);
     if (!d2.ok()) return Fail(d2.status());
     Edtd r1 = ReduceEdtd(*d1);
     Edtd r2 = ReduceEdtd(*d2);
@@ -743,7 +754,7 @@ int RunCommand(const std::vector<std::string>& argv, GlobalOptions& options) {
     return 0;
   }
   if (command == "types" && argc == 4) {
-    StatusOr<Edtd> schema = LoadSchema(argv[2]);
+    StatusOr<Edtd> schema = LoadSchema(argv[2], budget);
     if (!schema.ok()) return Fail(schema.status());
     Edtd reduced = ReduceEdtd(*schema);
     StatusOr<std::string> xml = ReadFile(argv[3]);
@@ -768,7 +779,7 @@ int RunCommand(const std::vector<std::string>& argv, GlobalOptions& options) {
     return 0;
   }
   if (command == "count" && argc == 5) {
-    StatusOr<Edtd> schema = LoadSchema(argv[2]);
+    StatusOr<Edtd> schema = LoadSchema(argv[2], budget);
     if (!schema.ok()) return Fail(schema.status());
     Edtd reduced = ReduceEdtd(*schema);
     if (!IsSingleType(reduced)) {
@@ -788,7 +799,7 @@ int RunCommand(const std::vector<std::string>& argv, GlobalOptions& options) {
     return 0;
   }
   if (command == "export" && (argc == 3 || argc == 4)) {
-    StatusOr<Edtd> schema = LoadSchema(argv[2]);
+    StatusOr<Edtd> schema = LoadSchema(argv[2], budget);
     if (!schema.ok()) return Fail(schema.status());
     Edtd reduced = ReduceEdtd(*schema);
     if (!IsSingleType(reduced)) {
@@ -806,7 +817,7 @@ int RunCommand(const std::vector<std::string>& argv, GlobalOptions& options) {
   if (command == "import" && argc == 3) {
     StatusOr<std::string> xml = ReadFile(argv[2]);
     if (!xml.ok()) return Fail(xml.status());
-    StatusOr<Edtd> schema = ImportXsd(*xml);
+    StatusOr<Edtd> schema = ImportXsd(*xml, budget);
     if (!schema.ok()) return Fail(schema.status());
     std::cout << SchemaToText(ReduceEdtd(*schema));
     return 0;
@@ -836,6 +847,8 @@ int RunCommand(const std::vector<std::string>& argv, GlobalOptions& options) {
       schema = Theorem43Schemas().second;
     } else if (name == "theorem411") {
       schema = Theorem411Dtd();
+    } else if (name == "counted") {
+      schema = CountedFamily(n, 2 * n);
     } else {
       return Fail(InvalidArgumentError("unknown family '" + name + "'"));
     }
