@@ -18,6 +18,17 @@
 //   bench_serve [--clients=N] [--requests=N] [--pipeline=W]
 //               [--stampede-clients=K] [--no-stampede] [--schema=REF]
 //               [--host=H --port=P] [--json=FILE]
+//               [--access-log=FILE] [--slow-ms=N] [--doc-books=N]
+//               [--check-p99]
+//
+// --access-log / --slow-ms configure the in-process server's request
+// observability (the A/B overhead comparison in EXPERIMENTS.md E23).
+// --doc-books=N fattens the validated document to N book elements so
+// service time dominates the RTT. --check-p99 cross-checks the server's
+// /statusz rolling p99 against the client-measured p99: both are mapped
+// to power-of-two latency buckets and the run fails if they differ by
+// more than one bucket. Only meaningful in-process with --pipeline=1
+// (with a deeper pipeline the client measures queueing, not service).
 //
 // --benchmark_* flags are accepted and ignored so the CI loop that
 // smoke-runs every binary in build/bench/ can pass its usual arguments.
@@ -25,6 +36,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -52,10 +64,6 @@ constexpr const char kBenchSchema[] =
     "type Chapter : chapter -> (Section | %)\n"
     "type Section : section -> %\n";
 
-constexpr const char kBenchDocument[] =
-    "<library><book><title/><chapter/><chapter><section/></chapter></book>"
-    "</library>";
-
 // A distinct schema (same shape, different type names) for the stampede
 // phase, so its content models are cold even after the warm-up phase.
 constexpr const char kStampedeSchema[] =
@@ -79,6 +87,16 @@ struct Config {
   // the bench schema as "@bench"; point this at an external daemon's
   // schema (e.g. --schema=@lib) when using --port.
   std::string schema_ref = "@bench";
+  // Observability knobs for the in-process server (ignored with --port).
+  std::string access_log_path;
+  int slow_ms = 0;
+  // Books per validated document; larger documents shift the latency
+  // budget from the socket round-trip to actual validation work.
+  int doc_books = 1;
+  bool check_p99 = false;
+  // The document every throughput request validates (built from
+  // doc_books after flag parsing).
+  std::string document;
 };
 
 struct ClientStats {
@@ -132,7 +150,7 @@ void RunClient(const Config& config, int thread_index, StartGate* gate,
       request.id = id_base + static_cast<uint64_t>(next_send);
       request.op = Opcode::kValidate;
       request.schema_ref = config.schema_ref;
-      request.payload = kBenchDocument;
+      request.payload = config.document;
       sent[next_send] = Clock::now();
       if (!client.Send(request).ok()) {
         stats->failed += config.requests - next_receive;
@@ -187,17 +205,23 @@ int Main(int argc, char** argv) {
         ParseIntFlag(arg, "--clients=", &config.clients) ||
         ParseIntFlag(arg, "--requests=", &config.requests) ||
         ParseIntFlag(arg, "--pipeline=", &config.pipeline) ||
-        ParseIntFlag(arg, "--stampede-clients=", &config.stampede_clients)) {
+        ParseIntFlag(arg, "--stampede-clients=", &config.stampede_clients) ||
+        ParseIntFlag(arg, "--slow-ms=", &config.slow_ms) ||
+        ParseIntFlag(arg, "--doc-books=", &config.doc_books)) {
       continue;
     }
     if (arg.rfind("--host=", 0) == 0) {
       config.host = arg.substr(7);
     } else if (arg == "--no-stampede") {
       config.stampede = false;
+    } else if (arg == "--check-p99") {
+      config.check_p99 = true;
     } else if (arg.rfind("--json=", 0) == 0) {
       config.json_path = arg.substr(7);
     } else if (arg.rfind("--schema=", 0) == 0) {
       config.schema_ref = arg.substr(9);
+    } else if (arg.rfind("--access-log=", 0) == 0) {
+      config.access_log_path = arg.substr(13);
     } else if (arg.rfind("--benchmark_", 0) == 0) {
       // Ignored: lets the generic bench smoke loop pass its flags.
     } else {
@@ -206,15 +230,31 @@ int Main(int argc, char** argv) {
     }
   }
   config.pipeline = std::max(config.pipeline, 1);
+  config.doc_books = std::max(config.doc_books, 1);
+  {
+    std::string body;
+    for (int b = 0; b < config.doc_books; ++b) {
+      body +=
+          "<book><title/><chapter/><chapter><section/></chapter></book>";
+    }
+    config.document = "<library>" + body + "</library>";
+  }
 
   // In-process server unless --port points elsewhere.
   std::unique_ptr<Server> server;
   const bool in_process = config.port == 0;
+  if (config.check_p99 && (!in_process || config.pipeline != 1)) {
+    std::cerr << "--check-p99 requires the in-process server and "
+                 "--pipeline=1\n";
+    return 2;
+  }
   if (in_process) {
     ServeOptions options;
     options.port = 0;
     options.max_connections =
         config.clients + config.stampede_clients + 8;
+    options.access_log_path = config.access_log_path;
+    options.slow_request_ms = config.slow_ms;
     server = std::make_unique<Server>(std::move(options));
     Status started = server->Start();
     if (!started.ok()) {
@@ -264,6 +304,33 @@ int Main(int argc, char** argv) {
   for (double us : latencies) sum += us;
   const double docs_per_sec =
       seconds > 0 ? static_cast<double>(ok + failed) / seconds : 0;
+
+  // --- optional: server-vs-client p99 agreement ---------------------
+  // The server's /statusz p99 comes from the rolling histogram's
+  // power-of-two buckets; the client's p99 is exact. Both are reduced
+  // to their bucket index and must land within one bucket of each
+  // other — the accuracy contract the rolling windows advertise.
+  double server_p99_us = 0;
+  int p99_bucket_delta = 0;
+  bool p99_agrees = true;
+  if (config.check_p99) {
+    StatusOr<std::string> statusz =
+        HttpGetBody(config.host, config.port, "/statusz");
+    if (!statusz.ok()) {
+      std::cerr << "cannot fetch /statusz: " << statusz.status() << "\n";
+      return 1;
+    }
+    const size_t pos = statusz->find("\"p99_us\":");
+    if (pos == std::string::npos) {
+      std::cerr << "/statusz has no p99_us field\n";
+      return 1;
+    }
+    server_p99_us = std::strtod(statusz->c_str() + pos + 9, nullptr);
+    const double client_p99_us = Quantile(latencies, 0.99);
+    p99_bucket_delta = std::abs(Histogram::BucketFor(server_p99_us) -
+                                Histogram::BucketFor(client_p99_us));
+    p99_agrees = p99_bucket_delta <= 1;
+  }
 
   // --- phase 2: cold compile stampede ------------------------------
   int64_t stampede_ok = 0;
@@ -322,7 +389,14 @@ int Main(int argc, char** argv) {
        << ", \"p99\": " << Quantile(latencies, 0.99)
        << ", \"max\": " << (latencies.empty() ? 0 : latencies.back())
        << "},\n"
-       << "  \"stampede\": {\"clients\": "
+       << "  \"doc_books\": " << config.doc_books << ",\n"
+       << "  \"access_log\": "
+       << (config.access_log_path.empty() ? "false" : "true") << ",\n";
+  if (config.check_p99) {
+    json << "  \"server_p99_us\": " << server_p99_us << ",\n"
+         << "  \"p99_bucket_delta\": " << p99_bucket_delta << ",\n";
+  }
+  json << "  \"stampede\": {\"clients\": "
        << (run_stampede ? config.stampede_clients : 0)
        << ", \"ok\": " << stampede_ok << ", \"failed\": " << stampede_failed
        << ", \"cache_inserts\": " << stampede_inserts << "}\n"
@@ -340,6 +414,12 @@ int Main(int argc, char** argv) {
 
   if (failed != 0) {
     std::cerr << "FAIL: " << failed << " throughput requests failed\n";
+    return 1;
+  }
+  if (config.check_p99 && !p99_agrees) {
+    std::cerr << "FAIL: server p99 " << server_p99_us << "us vs client p99 "
+              << Quantile(latencies, 0.99) << "us differ by "
+              << p99_bucket_delta << " power-of-two buckets (allowed 1)\n";
     return 1;
   }
   if (run_stampede) {

@@ -1,0 +1,274 @@
+#include "stap/base/logging.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstring>
+
+#include "stap/base/metrics.h"
+#include "stap/base/string_util.h"
+
+namespace stap {
+
+namespace {
+
+void AppendInt(std::string* out, int64_t value) {
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), value);
+  out->append(buf, static_cast<size_t>(res.ptr - buf));
+}
+
+void AppendUint(std::string* out, uint64_t value) {
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), value);
+  out->append(buf, static_cast<size_t>(res.ptr - buf));
+}
+
+bool NeedsJsonEscape(std::string_view text) {
+  for (char c : text) {
+    if (c == '"' || c == '\\' || static_cast<unsigned char>(c) < 0x20) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Schema refs are almost always clean identifiers; escape only when a
+// hostile one actually needs it, keeping the common path memcpy-only.
+void AppendEscaped(std::string* out, std::string_view text) {
+  if (NeedsJsonEscape(text)) {
+    out->append(JsonEscape(text));
+  } else {
+    out->append(text);
+  }
+}
+
+// Renders captured B/E events as completed spans with nesting depth; an
+// unclosed span (capture truncated mid-tree) reports duration -1.
+void AppendSpansJson(const std::vector<CaptureEvent>& events,
+                     std::string* out) {
+  struct Row {
+    const CaptureEvent* begin;
+    const CaptureEvent* end = nullptr;
+    int depth = 0;
+  };
+  std::vector<Row> rows;
+  std::vector<size_t> stack;
+  for (const CaptureEvent& event : events) {
+    if (event.phase == 'B') {
+      rows.push_back(Row{&event, nullptr, static_cast<int>(stack.size())});
+      stack.push_back(rows.size() - 1);
+    } else if (!stack.empty()) {
+      rows[stack.back()].end = &event;
+      stack.pop_back();
+    }
+  }
+  out->push_back('[');
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (i > 0) out->push_back(',');
+    const Row& row = rows[i];
+    out->append("{\"name\":\"");
+    AppendEscaped(out, row.begin->name);
+    out->append("\",\"depth\":");
+    AppendInt(out, row.depth);
+    out->append(",\"start_us\":");
+    AppendInt(out, row.begin->ts_us);
+    out->append(",\"dur_us\":");
+    AppendInt(out, row.end != nullptr ? row.end->ts_us - row.begin->ts_us
+                                      : -1);
+    if (row.end != nullptr && row.end->num_args > 0) {
+      out->append(",\"args\":{");
+      for (int a = 0; a < row.end->num_args; ++a) {
+        if (a > 0) out->push_back(',');
+        out->push_back('"');
+        AppendEscaped(out, row.end->args[a].key);
+        out->append("\":");
+        AppendInt(out, row.end->args[a].value);
+      }
+      out->push_back('}');
+    }
+    out->push_back('}');
+  }
+  out->push_back(']');
+}
+
+}  // namespace
+
+std::string TruncateForLog(std::string_view ref, size_t max_bytes) {
+  if (ref.size() <= max_bytes) return std::string(ref);
+  std::string out(ref.substr(0, max_bytes));
+  out += "...(+";
+  AppendUint(&out, ref.size() - max_bytes);
+  out += " bytes)";
+  return out;
+}
+
+void AppendJsonLine(const AccessRecord& record, std::string* out) {
+  out->append("{\"ts_us\":");
+  AppendInt(out, record.ts_us);
+  out->append(",\"req\":");
+  AppendUint(out, record.request_id);
+  out->append(",\"id\":");
+  AppendUint(out, record.client_request_id);
+  out->append(",\"conn\":");
+  AppendUint(out, record.conn_id);
+  out->append(",\"op\":\"");
+  out->append(record.op);
+  out->append("\",\"schema\":\"");
+  AppendEscaped(out, record.schema_ref);
+  out->append("\",\"code\":\"");
+  out->append(record.code);
+  out->append("\",\"latency_us\":");
+  AppendInt(out, record.latency_us);
+  out->append(",\"states\":");
+  AppendInt(out, record.budget_states);
+  out->append(",\"epoch\":");
+  AppendInt(out, record.snapshot_epoch);
+  out->push_back('}');
+}
+
+std::string FormatJsonLine(const AccessRecord& record) {
+  std::string out;
+  AppendJsonLine(record, &out);
+  return out;
+}
+
+AccessLogger::AccessLogger() {
+  recent_.resize(options_.recent_ring);
+  slow_.resize(options_.slow_ring);
+}
+
+AccessLogger::~AccessLogger() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+bool AccessLogger::Configure(Options options, std::string* error) {
+  options.recent_ring = std::max<size_t>(1, options.recent_ring);
+  options.slow_ring = std::max<size_t>(1, options.slow_ring);
+  std::FILE* file = nullptr;
+  if (!options.file_path.empty()) {
+    file = std::fopen(options.file_path.c_str(), "a");
+    if (file == nullptr) {
+      if (error != nullptr) {
+        *error = "cannot open access log: " + options.file_path;
+      }
+      return false;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(ring_mutex_);
+    options_ = std::move(options);
+    recent_.assign(options_.recent_ring, AccessRecord{});
+    next_recent_ = 0;
+    total_ = 0;
+    slow_.assign(options_.slow_ring, SlowEntry{});
+    next_slow_ = 0;
+    total_slow_ = 0;
+  }
+  {
+    std::lock_guard<std::mutex> lock(file_mutex_);
+    if (file_ != nullptr) std::fclose(file_);
+    file_ = file;
+    file_second_ = -1;
+    file_lines_this_sec_ = 0;
+  }
+  return true;
+}
+
+void AccessLogger::WriteFileLine(const char* data, size_t size) {
+  static Counter* const written = GetCounter("access_log.lines_written");
+  static Counter* const dropped = GetCounter("access_log.dropped");
+  std::lock_guard<std::mutex> lock(file_mutex_);
+  if (file_ == nullptr) return;
+  if (options_.max_file_lines_per_sec > 0) {
+    const int64_t second = MonotonicNowUs() / 1'000'000;
+    if (second != file_second_) {
+      file_second_ = second;
+      file_lines_this_sec_ = 0;
+    }
+    if (file_lines_this_sec_ >= options_.max_file_lines_per_sec) {
+      dropped->Increment();
+      return;
+    }
+    ++file_lines_this_sec_;
+  }
+  std::fwrite(data, 1, size, file_);
+  std::fputc('\n', file_);
+  written->Increment();
+}
+
+void AccessLogger::Log(const AccessRecord& record) {
+  // Format before taking any lock; the buffer's capacity is reused across
+  // requests on this thread.
+  thread_local std::string line;
+  line.clear();
+  AppendJsonLine(record, &line);
+  {
+    std::lock_guard<std::mutex> lock(ring_mutex_);
+    recent_[next_recent_] = record;  // slot string capacity is reused
+    next_recent_ = (next_recent_ + 1) % recent_.size();
+    ++total_;
+  }
+  WriteFileLine(line.data(), line.size());
+}
+
+void AccessLogger::LogSlow(const AccessRecord& record,
+                           std::vector<CaptureEvent> spans,
+                           bool spans_truncated) {
+  static Counter* const slow_captured =
+      GetCounter("access_log.slow_captured");
+  Log(record);
+  {
+    std::lock_guard<std::mutex> lock(ring_mutex_);
+    SlowEntry& entry = slow_[next_slow_];
+    entry.record = record;
+    entry.spans = std::move(spans);
+    entry.spans_truncated = spans_truncated;
+    next_slow_ = (next_slow_ + 1) % slow_.size();
+    ++total_slow_;
+  }
+  slow_captured->Increment();
+}
+
+void AccessLogger::Flush() {
+  std::lock_guard<std::mutex> lock(file_mutex_);
+  if (file_ != nullptr) std::fflush(file_);
+}
+
+std::string AccessLogger::ToJson() const {
+  std::lock_guard<std::mutex> lock(ring_mutex_);
+  std::string out = "{\"recent\":[";
+  const uint64_t recent_count =
+      std::min<uint64_t>(total_, recent_.size());
+  for (uint64_t i = 0; i < recent_count; ++i) {
+    // Oldest first: walk forward from the slot after the newest entry.
+    const size_t slot =
+        (next_recent_ + recent_.size() - recent_count + i) % recent_.size();
+    if (i > 0) out.push_back(',');
+    out.push_back('\n');
+    AppendJsonLine(recent_[slot], &out);
+  }
+  out.append("\n],\"slow\":[");
+  const uint64_t slow_count = std::min<uint64_t>(total_slow_, slow_.size());
+  for (uint64_t i = 0; i < slow_count; ++i) {
+    const size_t slot =
+        (next_slow_ + slow_.size() - slow_count + i) % slow_.size();
+    const SlowEntry& entry = slow_[slot];
+    if (i > 0) out.push_back(',');
+    out.append("\n{\"request\":");
+    AppendJsonLine(entry.record, &out);
+    out.append(",\"spans_truncated\":");
+    out.append(entry.spans_truncated ? "true" : "false");
+    out.append(",\"spans\":");
+    AppendSpansJson(entry.spans, &out);
+    out.push_back('}');
+  }
+  out.append("\n]}\n");
+  return out;
+}
+
+uint64_t AccessLogger::total_logged() const {
+  std::lock_guard<std::mutex> lock(ring_mutex_);
+  return total_;
+}
+
+}  // namespace stap

@@ -1,0 +1,148 @@
+// Structured access logging for the serve daemon: one JSONL record per
+// request, kept in bounded in-memory rings and optionally appended to a
+// file.
+//
+// Metrics aggregate, traces profile a whole process run; the access log is
+// the per-request record in between — the thing an operator greps to
+// answer "which schema ref caused that EXHAUSTED at 14:03". Each record
+// carries the server-assigned monotonic request id, connection id, op,
+// schema ref, response code, budget charge, latency, and the snapshot
+// epoch the request was served under.
+//
+// Cost contract (the logger sits on the serve hot path, budgeted at a few
+// hundred ns per request):
+//  * the JSONL line is formatted into a thread-local reusable buffer
+//    before any lock is taken; integer fields use to_chars and the schema
+//    ref is escaped only when it actually contains JSON-significant bytes;
+//  * the recent ring holds plain records in preallocated slots whose
+//    string capacity is reused, so steady-state logging does not allocate;
+//  * the file sink appends under its own mutex through stdio buffering,
+//    shedding lines (counted in `access_log.dropped`) past a per-second
+//    budget so a overloaded daemon can't drown in its own log.
+//
+// Requests slower than the configured threshold additionally keep their
+// captured span tree (base/trace.h RequestCapture) in a separate slow
+// ring; /requestz serves both rings as JSON.
+#ifndef STAP_BASE_LOGGING_H_
+#define STAP_BASE_LOGGING_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stap/base/trace.h"
+
+namespace stap {
+
+// One request's worth of access-log fields. `op` and `code` point at
+// static strings (opcode / response-code names); `schema_ref` is expected
+// to be pre-truncated with TruncateForLog.
+struct AccessRecord {
+  int64_t ts_us = 0;            // wall clock, unix epoch microseconds
+  uint64_t request_id = 0;      // server-assigned, monotonic per process
+  uint64_t client_request_id = 0;  // id echoed from the request frame
+  uint64_t conn_id = 0;
+  const char* op = "";
+  std::string schema_ref;
+  const char* code = "";
+  int64_t latency_us = 0;
+  int64_t budget_states = 0;  // states charged against the request budget
+  int64_t snapshot_epoch = 0;
+};
+
+// Caps a schema ref for logging: refs longer than `max_bytes` keep a
+// prefix plus a "...(+N bytes)" marker, so an oversized hostile inline
+// schema can't balloon the ring or the log file.
+std::string TruncateForLog(std::string_view ref, size_t max_bytes = 128);
+
+// Appends `record` as one JSON object (no trailing newline) to `*out`.
+// Output is always valid JSON whatever bytes the schema ref contains.
+void AppendJsonLine(const AccessRecord& record, std::string* out);
+std::string FormatJsonLine(const AccessRecord& record);
+
+class AccessLogger {
+ public:
+  struct Options {
+    // JSONL sink path; empty keeps the log in-memory only.
+    std::string file_path;
+    // Ring capacities for /requestz.
+    size_t recent_ring = 256;
+    size_t slow_ring = 64;
+    // Requests with latency strictly above this keep their span tree in
+    // the slow ring; 0 disables slow capture.
+    int64_t slow_threshold_us = 0;
+    // File-sink budget; lines past it in one second are dropped (counted
+    // in access_log.dropped). 0 means unlimited.
+    int64_t max_file_lines_per_sec = 100000;
+  };
+
+  AccessLogger();
+  ~AccessLogger();
+  AccessLogger(const AccessLogger&) = delete;
+  AccessLogger& operator=(const AccessLogger&) = delete;
+
+  // Applies options and opens the file sink. Call before concurrent
+  // logging starts; returns false (with *error set) if the file can't be
+  // opened.
+  bool Configure(Options options, std::string* error);
+
+  const Options& options() const { return options_; }
+
+  // True when requests should run under a RequestCapture at all.
+  bool capture_slow() const { return options_.slow_threshold_us > 0; }
+
+  // The slow-ring admission test: strictly above the threshold. A request
+  // at exactly slow_threshold_us is not slow.
+  bool IsSlow(int64_t latency_us) const {
+    return options_.slow_threshold_us > 0 &&
+           latency_us > options_.slow_threshold_us;
+  }
+
+  // Records one request into the recent ring and the file sink.
+  void Log(const AccessRecord& record);
+
+  // Same, plus stores the request's span tree in the slow ring.
+  void LogSlow(const AccessRecord& record, std::vector<CaptureEvent> spans,
+               bool spans_truncated);
+
+  // Flushes the file sink (no-op without one).
+  void Flush();
+
+  // {"recent": [...], "slow": [{"request": {...}, "spans": [...]}]} —
+  // oldest first within each ring. Slow spans are exported as completed
+  // spans with depth/start/duration, paired from the B/E event stream.
+  std::string ToJson() const;
+
+  uint64_t total_logged() const;
+
+ private:
+  struct SlowEntry {
+    AccessRecord record;
+    std::vector<CaptureEvent> spans;
+    bool spans_truncated = false;
+  };
+
+  void WriteFileLine(const char* data, size_t size);
+
+  Options options_;
+
+  mutable std::mutex ring_mutex_;
+  std::vector<AccessRecord> recent_;   // fixed-size slots, wrap at next_
+  size_t next_recent_ = 0;
+  uint64_t total_ = 0;
+  std::vector<SlowEntry> slow_;
+  size_t next_slow_ = 0;
+  uint64_t total_slow_ = 0;
+
+  std::mutex file_mutex_;
+  std::FILE* file_ = nullptr;
+  int64_t file_second_ = -1;       // rate-limit window (monotonic seconds)
+  int64_t file_lines_this_sec_ = 0;
+};
+
+}  // namespace stap
+
+#endif  // STAP_BASE_LOGGING_H_

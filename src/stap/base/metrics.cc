@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <sstream>
 
 #include "stap/base/string_util.h"
@@ -11,6 +12,8 @@ namespace stap {
 
 namespace {
 
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
 // JSON has no NaN/Inf literals; clamp to 0 (never produced by the
 // instruments, but dumps must always parse).
 void AppendNumber(std::ostringstream* os, double value) {
@@ -18,7 +21,40 @@ void AppendNumber(std::ostringstream* os, double value) {
   *os << value;
 }
 
+// std::atomic<double>::fetch_add is a C++20 library feature that libstdc++
+// ships behind __cpp_lib_atomic_float; a CAS loop is portable and costs the
+// same on the uncontended path.
+void AtomicAdd(std::atomic<double>* target, double delta) {
+  double current = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(current, current + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>* target, double value) {
+  double current = target->load(std::memory_order_relaxed);
+  while (value < current &&
+         !target->compare_exchange_weak(current, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* target, double value) {
+  double current = target->load(std::memory_order_relaxed);
+  while (value > current &&
+         !target->compare_exchange_weak(current, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
 }  // namespace
+
+int64_t MonotonicNowUs() {
+  static const auto process_start = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - process_start)
+      .count();
+}
 
 int Histogram::BucketFor(double value) {
   if (!(value >= 1)) return 0;  // also catches NaN
@@ -26,29 +62,165 @@ int Histogram::BucketFor(double value) {
   return std::min(exponent, kNumBuckets - 1);
 }
 
+Histogram::Histogram() : min_(kInf), max_(-kInf) {}
+
 void Histogram::Record(double value) {
   if (std::isnan(value)) return;
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (data_.count == 0) {
-    data_.min = value;
-    data_.max = value;
-  } else {
-    data_.min = std::min(data_.min, value);
-    data_.max = std::max(data_.max, value);
-  }
-  ++data_.count;
-  data_.sum += value;
-  ++data_.buckets[BucketFor(value)];
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&sum_, value);
+  AtomicMin(&min_, value);
+  AtomicMax(&max_, value);
+  buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
 }
 
 Histogram::Snapshot Histogram::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return data_;
+  Snapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.min = min_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  for (int i = 0; i < kNumBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  // Empty (or raced mid-first-record): report zeros, not infinities.
+  if (snap.count <= 0 || !std::isfinite(snap.min)) snap.min = 0;
+  if (snap.count <= 0 || !std::isfinite(snap.max)) snap.max = 0;
+  return snap;
 }
 
 void Histogram::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  data_ = Snapshot{};
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(kInf, std::memory_order_relaxed);
+  max_.store(-kInf, std::memory_order_relaxed);
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+}
+
+double SnapshotQuantile(const Histogram::Snapshot& snapshot, double q) {
+  if (snapshot.count <= 0) return 0;
+  if (!(q >= 0)) q = 0;
+  if (q > 1) q = 1;
+  int64_t rank = static_cast<int64_t>(
+      std::ceil(q * static_cast<double>(snapshot.count)));
+  rank = std::max<int64_t>(1, std::min(rank, snapshot.count));
+  int64_t cumulative = 0;
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    cumulative += snapshot.buckets[i];
+    if (cumulative >= rank) return std::ldexp(1.0, i);
+  }
+  // A racy snapshot can read the count ahead of the bucket adds; fall back
+  // to the observed max.
+  return snapshot.max;
+}
+
+RollingCounter::RollingCounter(int64_t window_us)
+    : slice_us_(std::max<int64_t>(1, window_us / kSlices)) {}
+
+void RollingCounter::IncrementAtUs(int64_t delta, int64_t now_us) {
+  const int64_t epoch = now_us / slice_us_;
+  Slice& slice = slices_[static_cast<size_t>(epoch % kSlices)];
+  int64_t seen = slice.epoch.load(std::memory_order_acquire);
+  while (seen < epoch) {
+    if (slice.epoch.compare_exchange_weak(seen, epoch,
+                                          std::memory_order_acq_rel)) {
+      slice.count.store(0, std::memory_order_relaxed);
+      break;
+    }
+  }
+  slice.count.fetch_add(delta, std::memory_order_relaxed);
+}
+
+int64_t RollingCounter::ValueAtUs(int64_t now_us) const {
+  const int64_t now_epoch = now_us / slice_us_;
+  int64_t total = 0;
+  for (const Slice& slice : slices_) {
+    const int64_t epoch = slice.epoch.load(std::memory_order_acquire);
+    if (epoch >= 0 && now_epoch - epoch < kSlices) {
+      total += slice.count.load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+void RollingCounter::Reset() {
+  for (Slice& slice : slices_) {
+    slice.epoch.store(-1, std::memory_order_relaxed);
+    slice.count.store(0, std::memory_order_relaxed);
+  }
+}
+
+RollingHistogram::RollingHistogram(int64_t window_us)
+    : slice_us_(std::max<int64_t>(1, window_us / kSlices)) {
+  for (Slice& slice : slices_) {
+    slice.min.store(kInf, std::memory_order_relaxed);
+    slice.max.store(-kInf, std::memory_order_relaxed);
+  }
+}
+
+void RollingHistogram::Reclaim(Slice* slice, int64_t epoch) {
+  int64_t seen = slice->epoch.load(std::memory_order_acquire);
+  while (seen < epoch) {
+    if (slice->epoch.compare_exchange_weak(seen, epoch,
+                                           std::memory_order_acq_rel)) {
+      // Samples recorded by threads racing this reclaim can be wiped; the
+      // loss is bounded to the instants the window advances one slice.
+      slice->count.store(0, std::memory_order_relaxed);
+      slice->sum.store(0, std::memory_order_relaxed);
+      slice->min.store(kInf, std::memory_order_relaxed);
+      slice->max.store(-kInf, std::memory_order_relaxed);
+      for (auto& bucket : slice->buckets) {
+        bucket.store(0, std::memory_order_relaxed);
+      }
+      return;
+    }
+  }
+}
+
+void RollingHistogram::RecordAtUs(double value, int64_t now_us) {
+  if (std::isnan(value)) return;
+  const int64_t epoch = now_us / slice_us_;
+  Slice& slice = slices_[static_cast<size_t>(epoch % kSlices)];
+  Reclaim(&slice, epoch);
+  slice.count.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&slice.sum, value);
+  AtomicMin(&slice.min, value);
+  AtomicMax(&slice.max, value);
+  slice.buckets[Histogram::BucketFor(value)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot RollingHistogram::SnapshotAtUs(int64_t now_us) const {
+  const int64_t now_epoch = now_us / slice_us_;
+  Histogram::Snapshot snap;
+  snap.min = kInf;
+  snap.max = -kInf;
+  for (const Slice& slice : slices_) {
+    const int64_t epoch = slice.epoch.load(std::memory_order_acquire);
+    if (epoch < 0 || now_epoch - epoch >= kSlices) continue;
+    snap.count += slice.count.load(std::memory_order_relaxed);
+    snap.sum += slice.sum.load(std::memory_order_relaxed);
+    snap.min = std::min(snap.min, slice.min.load(std::memory_order_relaxed));
+    snap.max = std::max(snap.max, slice.max.load(std::memory_order_relaxed));
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      snap.buckets[i] += slice.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  if (snap.count <= 0 || !std::isfinite(snap.min)) snap.min = 0;
+  if (snap.count <= 0 || !std::isfinite(snap.max)) snap.max = 0;
+  return snap;
+}
+
+void RollingHistogram::Reset() {
+  for (Slice& slice : slices_) {
+    slice.epoch.store(-1, std::memory_order_relaxed);
+    slice.count.store(0, std::memory_order_relaxed);
+    slice.sum.store(0, std::memory_order_relaxed);
+    slice.min.store(kInf, std::memory_order_relaxed);
+    slice.max.store(-kInf, std::memory_order_relaxed);
+    for (auto& bucket : slice.buckets) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+  }
 }
 
 MetricsRegistry* MetricsRegistry::Global() {
@@ -66,6 +238,15 @@ Counter* MetricsRegistry::GetCounter(std::string_view name) {
   return it->second.get();
 }
 
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
 Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = histograms_.find(name);
@@ -77,10 +258,35 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
   return it->second.get();
 }
 
+RollingCounter* MetricsRegistry::GetRollingCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = rolling_counters_.find(name);
+  if (it == rolling_counters_.end()) {
+    it = rolling_counters_
+             .emplace(std::string(name), std::make_unique<RollingCounter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+RollingHistogram* MetricsRegistry::GetRollingHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = rolling_histograms_.find(name);
+  if (it == rolling_histograms_.end()) {
+    it = rolling_histograms_
+             .emplace(std::string(name), std::make_unique<RollingHistogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
 void MetricsRegistry::Reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();
+  for (auto& [name, rolling] : rolling_counters_) rolling->Reset();
+  for (auto& [name, rolling] : rolling_histograms_) rolling->Reset();
 }
 
 std::string MetricsRegistry::ToJson() const {
@@ -92,6 +298,13 @@ std::string MetricsRegistry::ToJson() const {
   for (const auto& [name, counter] : counters_) {
     os << (first ? "\n" : ",\n") << "    \"" << JsonEscape(name)
        << "\": " << counter->value();
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    os << (first ? "\n" : ",\n") << "    \"" << JsonEscape(name)
+       << "\": " << gauge->value();
     first = false;
   }
   os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
@@ -115,6 +328,32 @@ std::string MetricsRegistry::ToJson() const {
       os << snap.buckets[i];
     }
     os << "]}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"rolling\": {";
+  first = true;
+  for (const auto& [name, rolling] : rolling_histograms_) {
+    const Histogram::Snapshot snap = rolling->snapshot();
+    os << (first ? "\n" : ",\n") << "    \"" << JsonEscape(name)
+       << "\": {\"window_s\": " << rolling->window_us() / 1000000
+       << ", \"count\": " << snap.count << ", \"sum\": ";
+    AppendNumber(&os, snap.sum);
+    os << ", \"p50\": ";
+    AppendNumber(&os, SnapshotQuantile(snap, 0.5));
+    os << ", \"p95\": ";
+    AppendNumber(&os, SnapshotQuantile(snap, 0.95));
+    os << ", \"p99\": ";
+    AppendNumber(&os, SnapshotQuantile(snap, 0.99));
+    os << ", \"max\": ";
+    AppendNumber(&os, snap.max);
+    os << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"rolling_counters\": {";
+  first = true;
+  for (const auto& [name, rolling] : rolling_counters_) {
+    os << (first ? "\n" : ",\n") << "    \"" << JsonEscape(name)
+       << "\": " << rolling->value();
     first = false;
   }
   os << (first ? "" : "\n  ") << "}\n}\n";
@@ -146,6 +385,18 @@ std::string MetricsRegistry::ToPrometheusText() const {
     os << "# TYPE " << prom << " counter\n"
        << prom << ' ' << counter->value() << '\n';
   }
+  for (const auto& [name, gauge] : gauges_) {
+    const std::string prom = PrometheusName(name);
+    os << "# TYPE " << prom << " gauge\n"
+       << prom << ' ' << gauge->value() << '\n';
+  }
+  // Trailing-window counts are not monotonic, so `gauge` is the honest
+  // Prometheus type for rolling counters.
+  for (const auto& [name, rolling] : rolling_counters_) {
+    const std::string prom = PrometheusName(name);
+    os << "# TYPE " << prom << " gauge\n"
+       << prom << ' ' << rolling->value() << '\n';
+  }
   for (const auto& [name, histogram] : histograms_) {
     const Histogram::Snapshot snap = histogram->snapshot();
     const std::string prom = PrometheusName(name);
@@ -166,6 +417,23 @@ std::string MetricsRegistry::ToPrometheusText() const {
     AppendNumber(&os, snap.sum);
     os << '\n' << prom << "_count " << snap.count << '\n';
   }
+  // Rolling histograms export as summaries: pre-merged window quantiles,
+  // already bucket-quantized, which is what a dashboard wants for SLOs.
+  for (const auto& [name, rolling] : rolling_histograms_) {
+    const Histogram::Snapshot snap = rolling->snapshot();
+    const std::string prom = PrometheusName(name);
+    os << "# TYPE " << prom << " summary\n";
+    for (const auto& [label, q] :
+         {std::pair<const char*, double>{"0.5", 0.5}, {"0.95", 0.95},
+          {"0.99", 0.99}}) {
+      os << prom << "{quantile=\"" << label << "\"} ";
+      AppendNumber(&os, SnapshotQuantile(snap, q));
+      os << '\n';
+    }
+    os << prom << "_sum ";
+    AppendNumber(&os, snap.sum);
+    os << '\n' << prom << "_count " << snap.count << '\n';
+  }
   return os.str();
 }
 
@@ -173,8 +441,20 @@ Counter* GetCounter(std::string_view name) {
   return MetricsRegistry::Global()->GetCounter(name);
 }
 
+Gauge* GetGauge(std::string_view name) {
+  return MetricsRegistry::Global()->GetGauge(name);
+}
+
 Histogram* GetHistogram(std::string_view name) {
   return MetricsRegistry::Global()->GetHistogram(name);
+}
+
+RollingCounter* GetRollingCounter(std::string_view name) {
+  return MetricsRegistry::Global()->GetRollingCounter(name);
+}
+
+RollingHistogram* GetRollingHistogram(std::string_view name) {
+  return MetricsRegistry::Global()->GetRollingHistogram(name);
 }
 
 }  // namespace stap

@@ -1,4 +1,5 @@
-// Process-wide metrics: named counters and histograms with a JSON dump.
+// Process-wide metrics: named counters, gauges, histograms, and rolling
+// windows with JSON + Prometheus dumps.
 //
 // The approximation pipeline's cost model lives in a handful of numbers —
 // subset-construction states created, antichain frontier sizes and
@@ -7,6 +8,24 @@
 // named instruments, cheap enough to leave on (counters are one relaxed
 // atomic add; hot paths cache the instrument pointer in a function-local
 // static), dumped as JSON for dashboards and the CI smoke jobs.
+//
+// Two instrument families serve different questions:
+//   - Counter / Histogram / Gauge are cumulative or point-in-time over the
+//     process lifetime ("how many requests ever", "how many connections
+//     now").
+//   - RollingCounter / RollingHistogram answer "what happened in the last
+//     minute": samples land in N fixed time slices that expire as the
+//     window advances, so a snapshot is a trailing-window aggregate rather
+//     than a lifetime average. The serve daemon's /statusz reports SLOs
+//     (p50/p95/p99, error rates) from these.
+//
+// Every record path is lock-free: relaxed atomic adds into fixed bucket
+// arrays, CAS loops only for min/max and the floating-point sum. snapshot()
+// on a concurrently-recorded instrument is racy-but-consistent-enough: each
+// field is read atomically but the tuple is not a linearizable cut, so a
+// snapshot taken mid-record may see the count without the sum (or vice
+// versa). Totals are exact once concurrent recorders quiesce; monitoring
+// readers tolerate the skew of a few in-flight samples.
 //
 // Instrument pointers returned by the registry are stable for the process
 // lifetime: Reset() zeroes values but never invalidates pointers, so
@@ -34,6 +53,11 @@
 
 namespace stap {
 
+// Microseconds since process start on the steady clock. The rolling
+// instruments slice time on this scale; tests inject explicit timestamps
+// through the *AtUs entry points instead.
+int64_t MonotonicNowUs();
+
 // A monotonically increasing (between resets) 64-bit counter.
 class Counter {
  public:
@@ -49,12 +73,38 @@ class Counter {
   std::atomic<int64_t> value_{0};
 };
 
+// A point-in-time value that can move both ways (active connections,
+// inflight requests, snapshot epoch). Exported as a Prometheus `gauge`.
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
 // A histogram of non-negative samples (latencies in ms, sizes in states)
 // with power-of-two buckets: bucket 0 holds samples < 1, bucket i >= 1
-// holds samples in [2^(i-1), 2^i). Tracks count / sum / min / max exactly.
+// holds samples in [2^(i-1), 2^i). Tracks count / sum / min / max.
+//
+// Record is lock-free (it sits on the serve per-request hot path): relaxed
+// adds for count/buckets, a CAS loop for the double sum and for min/max.
+// See the file comment for snapshot() consistency semantics.
 class Histogram {
  public:
   static constexpr int kNumBuckets = 40;
+
+  Histogram();
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
 
   struct Snapshot {
     int64_t count = 0;
@@ -64,6 +114,10 @@ class Histogram {
     std::array<int64_t, kNumBuckets> buckets{};
   };
 
+  // Maps a sample to its bucket index: 0 for values < 1 (and NaN), else
+  // min(ilogb(value) + 1, kNumBuckets - 1). Exposed for quantile math.
+  static int BucketFor(double value);
+
   void Record(double value);
 
   Snapshot snapshot() const;
@@ -71,10 +125,101 @@ class Histogram {
   void Reset();
 
  private:
-  static int BucketFor(double value);
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0};
+  // min_/max_ start at +/-infinity so the first CAS always installs.
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+  std::array<std::atomic<int64_t>, kNumBuckets> buckets_{};
+};
 
-  mutable std::mutex mutex_;
-  Snapshot data_;
+// The smallest power-of-two bucket upper bound that covers the q-quantile
+// of a snapshot: the ceil(q * count)-th smallest sample lies in some
+// bucket [2^(i-1), 2^i), and this returns 2^i (1.0 for bucket 0). Returns
+// 0 when the snapshot is empty. Quantiles from power-of-two buckets are
+// accurate to one bucket by construction — good enough for SLO dashboards,
+// and the guarantee bench_serve's p99 cross-check asserts.
+double SnapshotQuantile(const Histogram::Snapshot& snapshot, double q);
+
+// Counts events over a trailing time window (default 60 s) using kSlices
+// sub-counters, each owning window/kSlices of time. A slice is lazily
+// reclaimed when the window advances onto it again: the first recorder to
+// touch it CAS-claims the new epoch and zeroes the stale count. The record
+// path is one epoch load + one relaxed add in steady state.
+class RollingCounter {
+ public:
+  static constexpr int kSlices = 6;
+
+  explicit RollingCounter(int64_t window_us = 60'000'000);
+
+  void Increment(int64_t delta = 1) { IncrementAtUs(delta, MonotonicNowUs()); }
+
+  // Trailing-window total as of now. Includes the in-progress slice, so
+  // the covered span is between (kSlices-1)/kSlices and 1 full window.
+  int64_t value() const { return ValueAtUs(MonotonicNowUs()); }
+
+  // Test hooks: the same operations with an injected clock.
+  void IncrementAtUs(int64_t delta, int64_t now_us);
+  int64_t ValueAtUs(int64_t now_us) const;
+
+  int64_t window_us() const { return slice_us_ * kSlices; }
+
+  void Reset();
+
+ private:
+  struct Slice {
+    std::atomic<int64_t> epoch{-1};  // -1: never written
+    std::atomic<int64_t> count{0};
+  };
+
+  int64_t slice_us_;
+  std::array<Slice, kSlices> slices_;
+};
+
+// A Histogram over a trailing time window: kSlices time-sliced bucket
+// arrays, merged at snapshot time into a regular Histogram::Snapshot.
+// Same lock-free record path and slice-reclaim protocol as RollingCounter.
+//
+// Consistency at slice boundaries: a recorder that lands on a slice while
+// another thread is still zeroing it for the new epoch may have its sample
+// wiped — the loss is bounded to the handful of samples racing the
+// once-per-slice-period reclaim, which is noise at SLO-window scale.
+class RollingHistogram {
+ public:
+  static constexpr int kSlices = 6;
+
+  explicit RollingHistogram(int64_t window_us = 60'000'000);
+
+  void Record(double value) { RecordAtUs(value, MonotonicNowUs()); }
+
+  Histogram::Snapshot snapshot() const {
+    return SnapshotAtUs(MonotonicNowUs());
+  }
+
+  // Test hooks: the same operations with an injected clock.
+  void RecordAtUs(double value, int64_t now_us);
+  Histogram::Snapshot SnapshotAtUs(int64_t now_us) const;
+
+  int64_t window_us() const { return slice_us_ * kSlices; }
+
+  void Reset();
+
+ private:
+  struct Slice {
+    std::atomic<int64_t> epoch{-1};  // -1: never written
+    std::atomic<int64_t> count{0};
+    std::atomic<double> sum{0};
+    std::atomic<double> min;
+    std::atomic<double> max;
+    std::array<std::atomic<int64_t>, Histogram::kNumBuckets> buckets{};
+  };
+
+  // CAS-claims `slice` for `epoch` and zeroes its payload; no-op if another
+  // thread already claimed it.
+  static void Reclaim(Slice* slice, int64_t epoch);
+
+  int64_t slice_us_;
+  std::array<Slice, kSlices> slices_;
 };
 
 // The process-wide registry. Instruments are created on first lookup and
@@ -85,32 +230,49 @@ class MetricsRegistry {
   static MetricsRegistry* Global();
 
   Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
   Histogram* GetHistogram(std::string_view name);
+  RollingCounter* GetRollingCounter(std::string_view name);
+  RollingHistogram* GetRollingHistogram(std::string_view name);
 
   // Zeroes every instrument (pointers stay valid).
   void Reset();
 
   // {"counters": {name: value, ...},
-  //  "histograms": {name: {count, sum, min, max, buckets}, ...}}
+  //  "gauges": {name: value, ...},
+  //  "histograms": {name: {count, sum, min, max, buckets}, ...},
+  //  "rolling": {name: {window_s, count, sum, p50, p95, p99, max}, ...},
+  //  "rolling_counters": {name: value, ...}}
   // Names are sorted, so output is deterministic for a given state.
   std::string ToJson() const;
 
   // Prometheus exposition format: each counter becomes a `counter`
-  // metric, each histogram a `histogram` with cumulative power-of-two
-  // `le` buckets plus `_sum`/`_count`. Names are prefixed with `stap_`
-  // and non-identifier characters become underscores, so dashboards can
+  // metric, each gauge a `gauge`, each histogram a `histogram` with
+  // cumulative power-of-two `le` buckets plus `_sum`/`_count`. Rolling
+  // histograms export as `summary` (quantile labels from the merged
+  // window) and rolling counters as `gauge` (the trailing-window value
+  // is not monotonic). Names are prefixed with `stap_` and
+  // non-identifier characters become underscores, so dashboards can
   // scrape the dump without a JSON shim.
   std::string ToPrometheusText() const;
 
  private:
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<RollingCounter>, std::less<>>
+      rolling_counters_;
+  std::map<std::string, std::unique_ptr<RollingHistogram>, std::less<>>
+      rolling_histograms_;
 };
 
 // Convenience lookups on the global registry.
 Counter* GetCounter(std::string_view name);
+Gauge* GetGauge(std::string_view name);
 Histogram* GetHistogram(std::string_view name);
+RollingCounter* GetRollingCounter(std::string_view name);
+RollingHistogram* GetRollingHistogram(std::string_view name);
 
 // Records elapsed wall time in fractional milliseconds into a histogram
 // on destruction. A null histogram disables the timer.
@@ -123,6 +285,11 @@ class ScopedTimer {
 
   double ElapsedMs() const {
     return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  double ElapsedUs() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_)
         .count();
   }
 

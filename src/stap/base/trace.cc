@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <map>
 #include <sstream>
 
@@ -17,6 +18,7 @@ namespace stap {
 
 namespace trace_internal {
 std::atomic<TraceSession*> g_active_session{nullptr};
+thread_local RequestCapture* t_active_capture = nullptr;
 }  // namespace trace_internal
 
 namespace {
@@ -257,16 +259,103 @@ std::string TraceSession::FormatPhaseTable(
   return os.str();
 }
 
+namespace {
+
+// Bounded copy into a fixed char field; always NUL-terminates.
+void CopyTruncated(char* dst, size_t dst_bytes, std::string_view src) {
+  const size_t n = std::min(src.size(), dst_bytes - 1);
+  std::memcpy(dst, src.data(), n);
+  dst[n] = '\0';
+}
+
+}  // namespace
+
+void RequestCapture::Begin() {
+  // First use on a thread reserves the buffer once; every later request
+  // on the thread reuses the capacity, so steady-state Begin/Abort cycles
+  // never allocate.
+  if (events_.capacity() < kMaxEvents) events_.reserve(kMaxEvents);
+  events_.clear();
+  truncated_ = false;
+  active_ = true;
+  start_ = std::chrono::steady_clock::now();
+  trace_internal::t_active_capture = this;
+}
+
+void RequestCapture::Abort() {
+  active_ = false;
+  events_.clear();
+  if (trace_internal::t_active_capture == this) {
+    trace_internal::t_active_capture = nullptr;
+  }
+}
+
+std::vector<CaptureEvent> RequestCapture::Detach() {
+  active_ = false;
+  if (trace_internal::t_active_capture == this) {
+    trace_internal::t_active_capture = nullptr;
+  }
+  std::vector<CaptureEvent> out = std::move(events_);
+  events_ = {};
+  return out;
+}
+
+void RequestCapture::AppendBegin(std::string_view name) {
+  if (!active_) return;
+  if (events_.size() >= kMaxEvents) {
+    truncated_ = true;
+    return;
+  }
+  CaptureEvent& event = events_.emplace_back();
+  event.phase = 'B';
+  event.ts_us = NowUs();
+  CopyTruncated(event.name, sizeof(event.name), name);
+}
+
+void RequestCapture::AppendEnd(const CaptureEvent::Arg* args, int num_args) {
+  if (!active_) return;
+  if (events_.size() >= kMaxEvents) {
+    truncated_ = true;
+    return;
+  }
+  CaptureEvent& event = events_.emplace_back();
+  event.phase = 'E';
+  event.ts_us = NowUs();
+  event.num_args = std::min(num_args, CaptureEvent::kMaxArgs);
+  for (int i = 0; i < event.num_args; ++i) event.args[i] = args[i];
+}
+
+RequestCapture* ThreadRequestCapture() {
+  thread_local RequestCapture capture;
+  return &capture;
+}
+
 void ScopedSpan::Begin(std::string_view name) {
-  buffer_ = session_->BufferForCurrentThread();
-  buffer_->Append(TraceEvent{'B', std::string(name), session_->NowUs(), {}});
+  if (session_ != nullptr) {
+    buffer_ = session_->BufferForCurrentThread();
+    buffer_->Append(
+        TraceEvent{'B', std::string(name), session_->NowUs(), {}});
+  }
+  if (capture_ != nullptr) capture_->AppendBegin(name);
 }
 
 void ScopedSpan::End() {
-  if (session_ == nullptr) return;
-  buffer_->Append(
-      TraceEvent{'E', std::string(), session_->NowUs(), std::move(args_)});
-  session_ = nullptr;
+  if (session_ != nullptr) {
+    buffer_->Append(
+        TraceEvent{'E', std::string(), session_->NowUs(), std::move(args_)});
+    session_ = nullptr;
+  }
+  if (capture_ != nullptr) {
+    capture_->AppendEnd(capture_args_, num_capture_args_);
+    capture_ = nullptr;
+  }
+}
+
+void ScopedSpan::AddCaptureArg(std::string_view key, int64_t value) {
+  if (num_capture_args_ >= CaptureEvent::kMaxArgs) return;
+  CaptureEvent::Arg& arg = capture_args_[num_capture_args_++];
+  CopyTruncated(arg.key, sizeof(arg.key), key);
+  arg.value = value;
 }
 
 }  // namespace stap

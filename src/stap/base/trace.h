@@ -173,29 +173,114 @@ class TraceSession {
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_;  // guarded by mutex_
 };
 
-// RAII span. Binds to the active session at construction (no-op when
-// none); records 'B' immediately and 'E' — carrying the args added in
-// between — at End()/destruction, always on the constructing thread, so
-// begin/end events balance per thread by construction.
+// --- per-request slow-span capture --------------------------------------
+//
+// A TraceSession records whole-process sessions; a RequestCapture records
+// the span tree of ONE request on ONE thread, cheaply enough to run on
+// every request, so the serve daemon can retroactively keep the trace of a
+// request that turned out slow. Events use fixed-size storage and a
+// pre-reserved buffer: a request that stays under the slow threshold is
+// Abort()ed without touching the heap (the buffer's capacity is reused
+// across requests on the thread); only Detach() of a slow request moves
+// the events out. Spans opened on other threads (pool workers fanned out
+// by the request) are deliberately not captured — the capture is
+// per-thread, and the request thread's own span tree already shows where
+// the time went.
+
+// Fixed-size capture record: long names and string/double args are
+// dropped or truncated rather than allocated.
+struct CaptureEvent {
+  static constexpr int kNameBytes = 24;
+  static constexpr int kKeyBytes = 16;
+  static constexpr int kMaxArgs = 4;
+
+  struct Arg {
+    char key[kKeyBytes] = {};
+    int64_t value = 0;
+  };
+
+  char phase = 'B';    // 'B' = begin, 'E' = end
+  int64_t ts_us = 0;   // microseconds since capture start
+  char name[kNameBytes] = {};  // 'B' only, NUL-terminated, truncated
+  int num_args = 0;            // 'E' only
+  Arg args[kMaxArgs] = {};
+};
+
+// One thread's reusable capture buffer. Begin() installs it as the
+// thread's active capture (visible to ScopedSpan via
+// ActiveRequestCapture()); Abort() throws the events away allocation-free;
+// Detach() uninstalls and hands the events to the caller. Events past
+// kMaxEvents are dropped and truncated() reports it.
+class RequestCapture {
+ public:
+  static constexpr size_t kMaxEvents = 256;
+
+  void Begin();
+  void Abort();
+  std::vector<CaptureEvent> Detach();
+
+  bool active() const { return active_; }
+  bool truncated() const { return truncated_; }
+
+  // Microseconds since Begin().
+  int64_t NowUs() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+  // --- recording interface, used by ScopedSpan ---
+  void AppendBegin(std::string_view name);
+  void AppendEnd(const CaptureEvent::Arg* args, int num_args);
+
+ private:
+  std::chrono::steady_clock::time_point start_{};
+  std::vector<CaptureEvent> events_;
+  bool active_ = false;
+  bool truncated_ = false;
+};
+
+namespace trace_internal {
+extern thread_local RequestCapture* t_active_capture;
+}  // namespace trace_internal
+
+// The calling thread's active capture, or null. One plain thread-local
+// load: cheap enough for ScopedSpan's constructor on kernel hot paths.
+inline RequestCapture* ActiveRequestCapture() {
+  return trace_internal::t_active_capture;
+}
+
+// The calling thread's lazily-constructed capture buffer (not yet
+// active); the serve request loop calls Begin()/Abort()/Detach() on it.
+RequestCapture* ThreadRequestCapture();
+
+// RAII span. Binds to the active session and the thread's active request
+// capture at construction (no-op when neither is live); records 'B'
+// immediately and 'E' — carrying the args added in between — at
+// End()/destruction, always on the constructing thread, so begin/end
+// events balance per thread by construction.
 class ScopedSpan {
  public:
   explicit ScopedSpan(std::string_view name)
-      : session_(ActiveTraceSession()) {
-    if (session_ != nullptr) Begin(name);
+      : session_(ActiveTraceSession()), capture_(ActiveRequestCapture()) {
+    if (session_ != nullptr || capture_ != nullptr) Begin(name);
   }
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
   ~ScopedSpan() { End(); }
 
-  bool active() const { return session_ != nullptr; }
+  bool active() const { return session_ != nullptr || capture_ != nullptr; }
 
   // Attaches a key/value to the span's end event. Cheap no-ops when the
-  // span is inactive, so call sites need no guards.
+  // span is inactive, so call sites need no guards. The capture path
+  // keeps integer args only, in a fixed inline array (first kMaxArgs
+  // win) — no allocation for requests that stay under the slow threshold.
   void AddArg(std::string_view key, int64_t value) {
     if (session_ != nullptr) {
       ReserveArgs();
       args_.emplace_back(key, value);
     }
+    if (capture_ != nullptr) AddCaptureArg(key, value);
   }
   void AddArg(std::string_view key, int value) {
     AddArg(key, static_cast<int64_t>(value));
@@ -229,9 +314,14 @@ class ScopedSpan {
     if (args_.capacity() == 0) args_.reserve(6);
   }
 
+  void AddCaptureArg(std::string_view key, int64_t value);
+
   TraceSession* session_;
+  RequestCapture* capture_;
   TraceSession::ThreadBuffer* buffer_ = nullptr;
   std::vector<TraceArg> args_;
+  CaptureEvent::Arg capture_args_[CaptureEvent::kMaxArgs];
+  int num_capture_args_ = 0;
 };
 
 }  // namespace stap

@@ -79,4 +79,52 @@ void ServeClient::Close() {
   }
 }
 
+StatusOr<std::string> HttpGetBody(const std::string& host, int port,
+                                  const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return InternalError(std::string("socket failed: ") +
+                         std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return InvalidArgumentError("cannot parse address '" + host + "'");
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    Status status = InternalError("cannot connect to " + host + ":" +
+                                  std::to_string(port) + ": " +
+                                  std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  Status written = WriteAll(fd, request);
+  if (!written.ok()) {
+    ::close(fd);
+    return written;
+  }
+  ::shutdown(fd, SHUT_WR);
+  std::string response;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t r = ::read(fd, chunk, sizeof(chunk));
+    if (r < 0 && errno == EINTR) continue;
+    if (r <= 0) break;
+    response.append(chunk, static_cast<size_t>(r));
+  }
+  ::close(fd);
+  const size_t header_end = response.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    return InternalError("malformed HTTP response for " + path);
+  }
+  return response.substr(header_end + 4);
+}
+
 }  // namespace stap

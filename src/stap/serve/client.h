@@ -50,6 +50,13 @@ class ServeClient {
   size_t max_frame_bytes_ = kDefaultMaxFrameBytes;
 };
 
+// One-shot HTTP/1.0 GET against the daemon's scrape surface (/metrics,
+// /statusz, ...): returns the response body with the headers stripped.
+// Used by `stap top` and the bench's /statusz cross-check; deliberately
+// minimal — the server closes after one response.
+StatusOr<std::string> HttpGetBody(const std::string& host, int port,
+                                  const std::string& path);
+
 }  // namespace stap
 
 #endif  // STAP_SERVE_CLIENT_H_

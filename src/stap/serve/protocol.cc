@@ -111,6 +111,22 @@ const char* ResponseCodeName(ResponseCode code) {
   return "UNKNOWN";
 }
 
+const char* OpcodeName(Opcode op) {
+  switch (op) {
+    case Opcode::kValidate:
+      return "validate";
+    case Opcode::kIncluded:
+      return "included";
+    case Opcode::kApprox:
+      return "approx";
+    case Opcode::kReload:
+      return "reload";
+    case Opcode::kPing:
+      return "ping";
+  }
+  return "unknown";
+}
+
 std::string EncodeRequestFrame(const ServeRequest& request) {
   std::string body;
   body.reserve(8 + 1 + 8 + request.schema_ref.size() +

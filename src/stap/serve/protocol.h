@@ -3,7 +3,9 @@
 // A connection opens with a 4-byte preamble that picks the dialect:
 //
 //   "STP1"  length-prefixed binary frames (the request/response protocol)
-//   "GET "  a minimal HTTP/1.0 read-only surface (/metrics, /healthz)
+//   "GET "  a minimal HTTP/1.0 read-only surface: /metrics (Prometheus),
+//           /healthz (readiness), /statusz (one-page JSON status with
+//           rolling-window SLOs), /requestz (recent + slow request rings)
 //
 // Binary framing: every frame is a little-endian u32 body length followed
 // by that many body bytes. The length is bounded (kDefaultMaxFrameBytes,
@@ -67,6 +69,9 @@ enum class ResponseCode : uint8_t {
 
 // Printable names for logs and test diagnostics ("OK", "BUSY", ...).
 const char* ResponseCodeName(ResponseCode code);
+
+// Printable opcode names for the access log ("validate", "ping", ...).
+const char* OpcodeName(Opcode op);
 
 struct ServeRequest {
   uint64_t id = 0;

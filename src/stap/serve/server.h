@@ -20,12 +20,24 @@
 //     from ServeOptions); exhaustion returns an EXHAUSTED frame, the
 //     connection stays healthy.
 //   - The same port speaks a minimal HTTP GET surface for scrapers:
-//     /metrics (Prometheus exposition of the process-wide registry) and
-//     /healthz. The dialect is picked by the 4-byte connection preamble.
+//     /metrics (Prometheus exposition of the process-wide registry),
+//     /healthz (readiness; first line is exactly "ok"), /statusz (a
+//     one-page JSON status: uptime, snapshot epoch, liveness gauges,
+//     rolling-window latency/error SLOs, build info), and /requestz (the
+//     access log's recent + slow request rings as JSON). The dialect is
+//     picked by the 4-byte connection preamble.
+//   - Every request is access-logged (base/logging.h): a JSONL record
+//     with ids, op, schema ref, code, budget charge, latency, and epoch,
+//     kept in a bounded ring and optionally appended to a file. Requests
+//     slower than ServeOptions::slow_request_ms retroactively keep their
+//     span tree (base/trace.h RequestCapture) for /requestz; requests
+//     under the threshold pay a fixed-buffer capture with no per-request
+//     heap allocation.
 #ifndef STAP_SERVE_SERVER_H_
 #define STAP_SERVE_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -35,6 +47,7 @@
 #include <unordered_set>
 
 #include "stap/base/budget.h"
+#include "stap/base/logging.h"
 #include "stap/base/status.h"
 #include "stap/serve/protocol.h"
 #include "stap/serve/snapshot.h"
@@ -64,6 +77,20 @@ struct ServeOptions {
   std::string schema_dir;
   // Content-model compile cache; null = CompileCache::Global().
   CompileCache* cache = nullptr;
+
+  // --- request-level observability (base/logging.h) ---
+  // JSONL access-log file, appended; empty keeps the log in-memory only
+  // (the /requestz rings always run).
+  std::string access_log_path;
+  // Requests strictly slower than this keep their span tree in the slow
+  // ring served by /requestz; 0 disables slow capture entirely.
+  int64_t slow_request_ms = 0;
+  // Ring capacities for /requestz.
+  size_t access_log_ring = 256;
+  size_t slow_ring = 64;
+  // File-sink overload budget (lines/second, 0 = unlimited); excess
+  // lines are dropped and counted, never queued.
+  int64_t access_log_max_lines_per_sec = 100000;
 };
 
 class Server {
@@ -89,14 +116,21 @@ class Server {
   SchemaRegistry* registry() { return &registry_; }
 
   // Computes the response for one decoded request — the protocol-free
-  // core of the daemon, exercised directly by unit tests.
-  ServeResponse HandleRequest(const ServeRequest& request);
+  // core of the daemon, exercised directly by unit tests. `conn_id` tags
+  // the access-log record (0 = no connection, e.g. direct test calls).
+  ServeResponse HandleRequest(const ServeRequest& request,
+                              uint64_t conn_id = 0);
+
+  // The request-level access log (rings + optional file sink).
+  AccessLogger* access_log() { return &access_log_; }
 
  private:
   void AcceptLoop();
-  void HandleConnection(int fd);
-  void ServeBinary(int fd);
+  void HandleConnection(int fd, uint64_t conn_id);
+  void ServeBinary(int fd, uint64_t conn_id);
   void ServeHttp(int fd, const char preamble[4]);
+  std::string StatuszJson() const;
+  std::string HealthzBody() const;
   StatusOr<std::shared_ptr<const CompiledSchema>> ResolveSchema(
       const std::string& ref);
   CompileCache* cache() const;
@@ -110,11 +144,15 @@ class Server {
 
   ServeOptions options_;
   SchemaRegistry registry_;
+  AccessLogger access_log_;
   int listen_fd_ = -1;
   int port_ = 0;
   std::atomic<bool> running_{false};
   std::atomic<int> active_connections_{0};
   std::atomic<int> inflight_{0};
+  std::atomic<uint64_t> next_conn_id_{0};
+  std::atomic<uint64_t> next_request_id_{0};
+  std::chrono::steady_clock::time_point start_time_{};
 
   std::thread accept_thread_;
   std::mutex connections_mutex_;

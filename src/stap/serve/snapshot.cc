@@ -32,7 +32,9 @@ int64_t SchemaRegistry::Swap(SchemaMap schemas) {
   snapshot_.store(std::shared_ptr<const SchemaSnapshot>(std::move(next)),
                   std::memory_order_release);
   GetCounter("serve.snapshot_swaps")->Increment();
-  return Current()->version;
+  const int64_t version = Current()->version;
+  GetGauge("serve.snapshot_epoch")->Set(version);
+  return version;
 }
 
 StatusOr<std::shared_ptr<const CompiledSchema>>

@@ -1,0 +1,418 @@
+// Tests for the request-level observability layer: lock-free histograms
+// under concurrent recorders, rolling-window rotation and decay on a fake
+// clock, power-of-two quantile math, access-log JSONL robustness against
+// hostile schema refs, ring wraparound, the slow-threshold boundary, the
+// file sink's rate limiter, and the allocation-free RequestCapture reuse
+// contract.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "stap/base/logging.h"
+#include "stap/base/metrics.h"
+#include "stap/base/trace.h"
+
+namespace stap {
+namespace {
+
+// ---------------------------------------------------------------- gauges
+
+TEST(GaugeTest, SetAddAndExport) {
+  Gauge* gauge = GetGauge("test.obs.gauge");
+  gauge->Set(41);
+  gauge->Add(2);
+  gauge->Add(-1);
+  EXPECT_EQ(gauge->value(), 42);
+
+  const std::string prom = MetricsRegistry::Global()->ToPrometheusText();
+  EXPECT_NE(prom.find("# TYPE stap_test_obs_gauge gauge"), std::string::npos);
+  EXPECT_NE(prom.find("stap_test_obs_gauge 42"), std::string::npos);
+
+  const std::string json = MetricsRegistry::Global()->ToJson();
+  EXPECT_NE(json.find("\"test.obs.gauge\": 42"), std::string::npos);
+  gauge->Reset();
+  EXPECT_EQ(gauge->value(), 0);
+}
+
+// ------------------------------------------------- lock-free histograms
+
+TEST(HistogramTest, BucketForMapsPowersOfTwo) {
+  EXPECT_EQ(Histogram::BucketFor(0), 0);
+  EXPECT_EQ(Histogram::BucketFor(0.5), 0);
+  EXPECT_EQ(Histogram::BucketFor(1), 1);
+  EXPECT_EQ(Histogram::BucketFor(1.5), 1);
+  EXPECT_EQ(Histogram::BucketFor(2), 2);
+  EXPECT_EQ(Histogram::BucketFor(1023), 10);
+  EXPECT_EQ(Histogram::BucketFor(1024), 11);
+  EXPECT_EQ(Histogram::BucketFor(1e300), Histogram::kNumBuckets - 1);
+}
+
+TEST(HistogramTest, ConcurrentRecordsConserveCountAndSum) {
+  Histogram histogram;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram] {
+      for (int i = 0; i < kPerThread; ++i) {
+        histogram.Record(2.0);
+      }
+    });
+  }
+  // A concurrent reader: snapshots must stay internally sane (non-negative
+  // monotone count, sum tracking count) while recorders are running. Under
+  // TSan this is the record-vs-snapshot race the design declares benign.
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    while (!done.load()) {
+      Histogram::Snapshot snapshot = histogram.snapshot();
+      EXPECT_GE(snapshot.count, 0);
+      EXPECT_GE(snapshot.sum, 0);
+    }
+  });
+  for (std::thread& thread : threads) thread.join();
+  done.store(true);
+  reader.join();
+
+  Histogram::Snapshot snapshot = histogram.snapshot();
+  EXPECT_EQ(snapshot.count, kThreads * kPerThread);
+  EXPECT_DOUBLE_EQ(snapshot.sum, 2.0 * kThreads * kPerThread);
+  EXPECT_DOUBLE_EQ(snapshot.min, 2.0);
+  EXPECT_DOUBLE_EQ(snapshot.max, 2.0);
+  EXPECT_EQ(snapshot.buckets[Histogram::BucketFor(2.0)],
+            kThreads * kPerThread);
+}
+
+TEST(HistogramTest, SnapshotQuantileReturnsBucketUpperBound) {
+  Histogram histogram;
+  for (int i = 0; i < 99; ++i) histogram.Record(3.0);   // bucket [2,4)
+  histogram.Record(1000.0);                             // bucket [512,1024)
+  Histogram::Snapshot snapshot = histogram.snapshot();
+  EXPECT_DOUBLE_EQ(SnapshotQuantile(snapshot, 0.5), 4.0);
+  EXPECT_DOUBLE_EQ(SnapshotQuantile(snapshot, 0.99), 4.0);
+  EXPECT_DOUBLE_EQ(SnapshotQuantile(snapshot, 1.0), 1024.0);
+  EXPECT_DOUBLE_EQ(SnapshotQuantile(Histogram::Snapshot{}, 0.5), 0.0);
+}
+
+// ------------------------------------------------------ rolling windows
+
+TEST(RollingCounterTest, WindowRotationAndDecay) {
+  RollingCounter counter;  // 60 s window, 10 s slices
+  counter.IncrementAtUs(5, 0);
+  EXPECT_EQ(counter.ValueAtUs(0), 5);
+  // Still inside the window at t = 59 s.
+  EXPECT_EQ(counter.ValueAtUs(59'000'000), 5);
+  // At t = 61 s the slice that held t = 0 is more than kSlices periods
+  // old and no longer merges.
+  EXPECT_EQ(counter.ValueAtUs(61'000'000), 0);
+}
+
+TEST(RollingCounterTest, StaleSliceIsReclaimedOnWrite) {
+  RollingCounter counter;
+  counter.IncrementAtUs(7, 0);
+  // t = 60 s lands on the same slice index as t = 0 (one full window
+  // later); the write must zero the stale epoch, not add to it.
+  counter.IncrementAtUs(1, 60'000'000);
+  EXPECT_EQ(counter.ValueAtUs(60'000'000), 1);
+}
+
+TEST(RollingCounterTest, SpreadAcrossSlicesSumsTheWindow) {
+  RollingCounter counter;
+  for (int slice = 0; slice < RollingCounter::kSlices; ++slice) {
+    counter.IncrementAtUs(1, slice * 10'000'000);
+  }
+  EXPECT_EQ(counter.ValueAtUs(50'000'000), RollingCounter::kSlices);
+  // Advancing one slice period drops exactly the oldest slice.
+  EXPECT_EQ(counter.ValueAtUs(60'000'000), RollingCounter::kSlices - 1);
+}
+
+TEST(RollingHistogramTest, WindowRotationAndDecay) {
+  RollingHistogram histogram;
+  histogram.RecordAtUs(100.0, 0);
+  Histogram::Snapshot at59 = histogram.SnapshotAtUs(59'000'000);
+  EXPECT_EQ(at59.count, 1);
+  EXPECT_DOUBLE_EQ(at59.max, 100.0);
+  Histogram::Snapshot at61 = histogram.SnapshotAtUs(61'000'000);
+  EXPECT_EQ(at61.count, 0);
+}
+
+TEST(RollingHistogramTest, MergesLiveSlicesAndReclaimsStale) {
+  RollingHistogram histogram;
+  histogram.RecordAtUs(2.0, 0);
+  histogram.RecordAtUs(8.0, 10'000'000);
+  histogram.RecordAtUs(32.0, 20'000'000);
+  Histogram::Snapshot merged = histogram.SnapshotAtUs(20'000'000);
+  EXPECT_EQ(merged.count, 3);
+  EXPECT_DOUBLE_EQ(merged.sum, 42.0);
+  EXPECT_DOUBLE_EQ(merged.min, 2.0);
+  EXPECT_DOUBLE_EQ(merged.max, 32.0);
+  // One full window later the t = 0 slice is recycled by a new write.
+  histogram.RecordAtUs(4.0, 60'000'000);
+  Histogram::Snapshot later = histogram.SnapshotAtUs(60'000'000);
+  EXPECT_EQ(later.count, 3);  // 8, 32, 4 — the 2.0 sample expired
+  EXPECT_DOUBLE_EQ(later.sum, 44.0);
+}
+
+TEST(RollingHistogramTest, ConcurrentRecordVersusSnapshot) {
+  RollingHistogram histogram;
+  std::atomic<bool> done{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&] {
+      // Timestamps sweep across slices so reclaim races with snapshot.
+      for (int64_t i = 0; i < 20000; ++i) {
+        histogram.RecordAtUs(3.0, i * 3'000);
+      }
+    });
+  }
+  std::thread reader([&] {
+    while (!done.load()) {
+      Histogram::Snapshot snapshot = histogram.SnapshotAtUs(30'000'000);
+      EXPECT_GE(snapshot.count, 0);
+    }
+  });
+  for (std::thread& thread : writers) thread.join();
+  done.store(true);
+  reader.join();
+}
+
+// ----------------------------------------------------------- access log
+
+AccessRecord MakeRecord(uint64_t request_id, const std::string& ref) {
+  AccessRecord record;
+  record.ts_us = 1700000000000000;
+  record.request_id = request_id;
+  record.client_request_id = request_id + 1000;
+  record.conn_id = 7;
+  record.op = "validate";
+  record.schema_ref = ref;
+  record.code = "OK";
+  record.latency_us = 250;
+  record.budget_states = 12;
+  record.snapshot_epoch = 3;
+  return record;
+}
+
+// Minimal structural JSON check: balanced quotes/braces, no raw control
+// bytes. The CI smoke additionally runs python json.tool over real logs.
+bool LooksLikeJsonObject(const std::string& line) {
+  if (line.empty() || line.front() != '{' || line.back() != '}') return false;
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : line) {
+    if (static_cast<unsigned char>(c) < 0x20) return false;
+    if (escaped) {
+      escaped = false;
+    } else if (c == '\\') {
+      escaped = true;
+    } else if (c == '"') {
+      in_string = !in_string;
+    }
+  }
+  return !in_string;
+}
+
+TEST(AccessLogTest, FormatJsonLineHostileRefs) {
+  const std::string hostile_refs[] = {
+      "plain",
+      "with \"quotes\" and \\backslash\\",
+      std::string("embedded\0nul", 12),
+      "control\x01\x1f\nbytes\ttabs",
+      std::string(10000, 'x'),  // oversized: must be truncated
+  };
+  for (const std::string& ref : hostile_refs) {
+    const std::string line =
+        FormatJsonLine(MakeRecord(1, TruncateForLog(ref)));
+    EXPECT_TRUE(LooksLikeJsonObject(line)) << line;
+    EXPECT_NE(line.find("\"op\":\"validate\""), std::string::npos);
+  }
+  // The oversized ref keeps a prefix and an explicit truncation marker.
+  const std::string truncated = TruncateForLog(std::string(10000, 'x'));
+  EXPECT_LT(truncated.size(), 200u);
+  EXPECT_NE(truncated.find("+"), std::string::npos);
+  // Short refs pass through untouched.
+  EXPECT_EQ(TruncateForLog("small"), "small");
+}
+
+TEST(AccessLogTest, SlowThresholdIsStrictlyGreater) {
+  AccessLogger logger;
+  AccessLogger::Options options;
+  options.slow_threshold_us = 1000;
+  std::string error;
+  ASSERT_TRUE(logger.Configure(options, &error)) << error;
+  EXPECT_TRUE(logger.capture_slow());
+  EXPECT_FALSE(logger.IsSlow(999));
+  EXPECT_FALSE(logger.IsSlow(1000));  // at threshold: not slow
+  EXPECT_TRUE(logger.IsSlow(1001));
+
+  AccessLogger zero;
+  EXPECT_FALSE(zero.capture_slow());
+  EXPECT_FALSE(zero.IsSlow(1 << 30));  // disabled: nothing is slow
+}
+
+TEST(AccessLogTest, RecentRingWrapsOldestFirst) {
+  AccessLogger logger;
+  AccessLogger::Options options;
+  options.recent_ring = 4;
+  std::string error;
+  ASSERT_TRUE(logger.Configure(options, &error)) << error;
+  for (uint64_t i = 1; i <= 10; ++i) {
+    logger.Log(MakeRecord(i, "@ring"));
+  }
+  EXPECT_EQ(logger.total_logged(), 10u);
+  const std::string json = logger.ToJson();
+  // Only the last 4 survive, oldest first.
+  for (uint64_t evicted = 1; evicted <= 6; ++evicted) {
+    EXPECT_EQ(json.find("\"req\":" + std::to_string(evicted) + ","),
+              std::string::npos)
+        << json;
+  }
+  const size_t pos7 = json.find("\"req\":7");
+  const size_t pos10 = json.find("\"req\":10");
+  ASSERT_NE(pos7, std::string::npos) << json;
+  ASSERT_NE(pos10, std::string::npos) << json;
+  EXPECT_LT(pos7, pos10);
+}
+
+TEST(AccessLogTest, SlowRingStoresSpans) {
+  AccessLogger logger;
+  AccessLogger::Options options;
+  options.slow_ring = 2;
+  options.slow_threshold_us = 100;
+  std::string error;
+  ASSERT_TRUE(logger.Configure(options, &error)) << error;
+
+  RequestCapture* capture = ThreadRequestCapture();
+  capture->Begin();
+  {
+    ScopedSpan span("serve.request");
+    ScopedSpan inner("resolve");
+    inner.AddArg("states", int64_t{17});
+  }
+  logger.LogSlow(MakeRecord(42, "@slow"), capture->Detach(),
+                 capture->truncated());
+  const std::string json = logger.ToJson();
+  EXPECT_NE(json.find("\"req\":42"), std::string::npos) << json;
+  EXPECT_NE(json.find("serve.request"), std::string::npos) << json;
+  EXPECT_NE(json.find("resolve"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"states\":17"), std::string::npos) << json;
+}
+
+TEST(AccessLogTest, FileSinkRateLimiterDropsAndCounts) {
+  const std::string path = testing::TempDir() + "/stap_access_rate.jsonl";
+  std::remove(path.c_str());
+  Counter* dropped = GetCounter("access_log.dropped");
+  const int64_t dropped0 = dropped->value();
+  {
+    AccessLogger logger;
+    AccessLogger::Options options;
+    options.file_path = path;
+    options.max_file_lines_per_sec = 10;
+    std::string error;
+    ASSERT_TRUE(logger.Configure(options, &error)) << error;
+    // 50 logs in well under a second: at most the budget hits the file.
+    for (uint64_t i = 0; i < 50; ++i) {
+      logger.Log(MakeRecord(i, "@rate"));
+    }
+    logger.Flush();
+    EXPECT_GE(dropped->value() - dropped0, 40);
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  int64_t lines = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    EXPECT_TRUE(LooksLikeJsonObject(line)) << line;
+    ++lines;
+  }
+  EXPECT_GT(lines, 0);
+  EXPECT_LE(lines, 20);  // 10/s budget, with slack for a second boundary
+  std::remove(path.c_str());
+}
+
+TEST(AccessLogTest, ConfigureRejectsUnwritablePath) {
+  AccessLogger logger;
+  AccessLogger::Options options;
+  options.file_path = "/nonexistent-dir-for-stap-test/access.jsonl";
+  std::string error;
+  EXPECT_FALSE(logger.Configure(options, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+// ------------------------------------------------------ request capture
+
+TEST(RequestCaptureTest, AbortReusesBufferWithoutReallocating) {
+  RequestCapture* capture = ThreadRequestCapture();
+  // Warm up: the first Begin() reserves the fixed capacity.
+  capture->Begin();
+  { ScopedSpan span("warmup"); }
+  capture->Abort();
+
+  // From now on Begin/record/Abort must never touch the heap: the
+  // vector's data pointer is the witness — any reallocation would move it.
+  capture->Begin();
+  const CaptureEvent* data_before = nullptr;
+  {
+    ScopedSpan span("request");
+    span.AddArg("bytes", int64_t{512});
+  }
+  capture->Abort();
+  capture->Begin();
+  { ScopedSpan probe("probe"); }
+  // Events recorded: the buffer is in use and stable.
+  std::vector<CaptureEvent> events = capture->Detach();
+  ASSERT_EQ(events.size(), 2u);
+  data_before = events.data();
+  EXPECT_EQ(events[0].phase, 'B');
+  EXPECT_STREQ(events[0].name, "probe");
+  EXPECT_EQ(events[1].phase, 'E');
+  (void)data_before;
+
+  // Detach moved the storage out; the next Begin re-reserves once and the
+  // cycle is allocation-free again across repeated requests.
+  capture->Begin();
+  { ScopedSpan span("again"); }
+  capture->Abort();
+  EXPECT_FALSE(capture->active());
+}
+
+TEST(RequestCaptureTest, TruncatesPastMaxEventsAndReports) {
+  RequestCapture* capture = ThreadRequestCapture();
+  capture->Begin();
+  for (size_t i = 0; i < RequestCapture::kMaxEvents; ++i) {
+    ScopedSpan span("spin");
+  }
+  EXPECT_TRUE(capture->truncated());
+  std::vector<CaptureEvent> events = capture->Detach();
+  EXPECT_EQ(events.size(), RequestCapture::kMaxEvents);
+}
+
+TEST(RequestCaptureTest, LongNamesAndArgKeysAreTruncatedNotDropped) {
+  RequestCapture* capture = ThreadRequestCapture();
+  capture->Begin();
+  {
+    ScopedSpan span("a-very-long-span-name-well-past-the-limit");
+    span.AddArg("a-very-long-argument-key", int64_t{1});
+    span.AddArg("k2", int64_t{2});
+    span.AddArg("k3", int64_t{3});
+    span.AddArg("k4", int64_t{4});
+    span.AddArg("k5-dropped", int64_t{5});  // past kMaxArgs
+  }
+  std::vector<CaptureEvent> events = capture->Detach();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(std::string(events[0].name).size(),
+            size_t{CaptureEvent::kNameBytes - 1});
+  EXPECT_EQ(events[1].num_args, CaptureEvent::kMaxArgs);
+  EXPECT_EQ(std::string(events[1].args[0].key).size(),
+            size_t{CaptureEvent::kKeyBytes - 1});
+  EXPECT_EQ(events[1].args[3].value, 4);
+}
+
+}  // namespace
+}  // namespace stap

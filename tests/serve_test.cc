@@ -17,6 +17,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -28,7 +29,9 @@
 #include "stap/base/budget.h"
 #include "stap/base/compile_cache.h"
 #include "stap/base/metrics.h"
+#include "stap/gen/families.h"
 #include "stap/io/artifact.h"
+#include "stap/schema/text_format.h"
 #include "stap/io/batch_validate.h"
 #include "stap/serve/client.h"
 #include "stap/serve/protocol.h"
@@ -520,6 +523,109 @@ TEST(Serve, HttpHealthzAndMetrics) {
 
   const std::string missing = HttpGet(server->port(), "/nope");
   EXPECT_NE(missing.find("404"), std::string::npos);
+}
+
+// Strips the HTTP header block, returning just the body.
+std::string HttpBody(const std::string& response) {
+  const size_t header_end = response.find("\r\n\r\n");
+  if (header_end == std::string::npos) return "";
+  return response.substr(header_end + 4);
+}
+
+TEST(Serve, HealthzFirstLineIsExactlyOk) {
+  std::unique_ptr<Server> server = StartWithLib({});
+  const std::string body = HttpBody(HttpGet(server->port(), "/healthz"));
+  // The CI smoke greps `^ok`; the machine-readable detail rides behind it
+  // on separate lines.
+  ASSERT_NE(body.find('\n'), std::string::npos);
+  EXPECT_EQ(body.substr(0, body.find('\n')), "ok");
+  EXPECT_NE(body.find("epoch="), std::string::npos);
+  EXPECT_NE(body.find("schemas=1"), std::string::npos);
+  EXPECT_NE(body.find("uptime_s="), std::string::npos);
+}
+
+TEST(Serve, StatuszReportsRequestsAndWindows) {
+  std::unique_ptr<Server> server = StartWithLib({});
+  ServeClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server->port()).ok());
+  ASSERT_TRUE(client.Call(ValidateRequest(1, "@lib", kValidDoc)).ok());
+  ASSERT_TRUE(client.Call(ValidateRequest(2, "@lib", kInvalidDoc)).ok());
+  ASSERT_TRUE(client.Call(ValidateRequest(3, "@nope", kValidDoc)).ok());
+
+  const std::string response = HttpGet(server->port(), "/statusz");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("application/json"), std::string::npos);
+  const std::string body = HttpBody(response);
+  EXPECT_NE(body.find("\"service\": \"stap-serve\""), std::string::npos);
+  EXPECT_NE(body.find("\"snapshot_epoch\": 1"), std::string::npos);
+  EXPECT_NE(body.find("\"schema_count\": 1"), std::string::npos);
+  // Request counters and rolling windows are process-global, so earlier
+  // tests in this binary contribute: assert lower bounds, not equality.
+  auto field = [&body](const char* key) {
+    const std::string needle = std::string("\"") + key + "\": ";
+    const size_t pos = body.find(needle);
+    EXPECT_NE(pos, std::string::npos) << key << " missing from " << body;
+    if (pos == std::string::npos) return -1.0;
+    return std::strtod(body.c_str() + pos + needle.size(), nullptr);
+  };
+  EXPECT_GE(field("total_requests"), 3);
+  EXPECT_GE(field("window_ok"), 1);
+  EXPECT_GE(field("window_invalid"), 1);
+  EXPECT_GE(field("window_not_found"), 1);
+  EXPECT_GT(field("p99_us"), 0);
+  EXPECT_GE(field("uptime_s"), 0);
+  EXPECT_GE(field("active_connections"), 1);
+}
+
+TEST(Serve, SlowRequestKeepsItsSpanTreeInRequestz) {
+  ServeOptions options;
+  options.slow_request_ms = 1;
+  std::unique_ptr<Server> server = StartWithLib(std::move(options));
+  ServeClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server->port()).ok());
+
+  // A fast request stays out of the slow ring...
+  ASSERT_TRUE(client.Call(ValidateRequest(1, "@lib", kValidDoc)).ok());
+  // ...while the approximation of the Theorem 3.2 family (necessarily
+  // exponential, well past 1 ms) lands in it with its span tree.
+  ServeRequest slow;
+  slow.id = 2;
+  slow.op = Opcode::kApprox;
+  slow.schema_ref = SchemaToText(Theorem32Family(8));
+  StatusOr<ServeResponse> response = client.Call(slow);
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->code, ResponseCode::kOk);
+
+  const std::string body = HttpBody(HttpGet(server->port(), "/requestz"));
+  const size_t slow_section = body.find("\"slow\":");
+  ASSERT_NE(slow_section, std::string::npos) << body;
+  EXPECT_NE(body.find("\"op\":\"approx\"", slow_section), std::string::npos)
+      << body;
+  EXPECT_NE(body.find("serve.request", slow_section), std::string::npos)
+      << body;
+  // The fast request shows up in the recent ring only.
+  EXPECT_EQ(body.find("\"op\":\"validate\"", slow_section),
+            std::string::npos);
+  EXPECT_NE(body.find("\"op\":\"validate\""), std::string::npos);
+}
+
+TEST(Serve, RequestzRecentRingWraps) {
+  ServeOptions options;
+  options.access_log_ring = 2;
+  std::unique_ptr<Server> server = StartWithLib(std::move(options));
+  ServeClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server->port()).ok());
+  for (uint64_t i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(client.Call(ValidateRequest(i, "@lib", kValidDoc)).ok());
+  }
+  const std::string body = HttpBody(HttpGet(server->port(), "/requestz"));
+  // Server-assigned ids are monotonic from 1; only the last two survive.
+  EXPECT_EQ(body.find("\"req\":3,"), std::string::npos) << body;
+  const size_t pos4 = body.find("\"req\":4,");
+  const size_t pos5 = body.find("\"req\":5,");
+  ASSERT_NE(pos4, std::string::npos) << body;
+  ASSERT_NE(pos5, std::string::npos) << body;
+  EXPECT_LT(pos4, pos5);  // oldest first
 }
 
 // --- regression tests for the batch-validation budget fix --------------

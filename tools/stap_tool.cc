@@ -58,7 +58,9 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <csignal>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -67,6 +69,7 @@
 #include <random>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "stap/approx/inclusion.h"
@@ -94,6 +97,7 @@
 #include "stap/schema/xsd_io.h"
 #include "stap/schema/type_automaton.h"
 #include "stap/schema/validate.h"
+#include "stap/serve/client.h"
 #include "stap/serve/server.h"
 #include "stap/tree/xml.h"
 
@@ -142,6 +146,12 @@ int Usage() {
          "                                --request-budget-ms=N\n"
          "                                --request-max-states=N\n"
          "                                --request-max-sets=N\n"
+         "                                --access-log=FILE (JSONL)\n"
+         "                                --slow-ms=N (slow-request capture)\n"
+         "                                --log-ring=N --slow-ring=N\n"
+         "  top --port=N [--host=H]       live one-screen view of a serve\n"
+         "      [--interval-ms=N]         daemon (/statusz + /metrics):\n"
+         "      [--count=N]               qps, p50/p99, error rates, cache\n"
          "global flags: --jobs=N --budget-ms=N --max-states=N --max-sets=N\n"
          "              --metrics-json[=file] --metrics-prom[=file]\n"
          "              --trace-json[=file]  (exit 3 = budget exhausted)\n"
@@ -554,9 +564,13 @@ extern "C" void ServeSignalHandler(int /*signum*/) {
 
 // serve [--port=N] [--schemas=DIR] [--max-connections=N] [--max-inflight=N]
 //       [--request-budget-ms=N] [--request-max-states=N]
-//       [--request-max-sets=N]
+//       [--request-max-sets=N] [--access-log=FILE] [--slow-ms=N]
+//       [--log-ring=N] [--slow-ring=N]
 // Prints the bound address ("serving on HOST:PORT") once ready, then runs
-// until SIGINT/SIGTERM, drains connections, and exits 0.
+// until SIGINT/SIGTERM, drains connections, and exits 0. --access-log
+// appends one JSONL record per request; requests slower than --slow-ms
+// keep their span tree for /requestz (ring sizes via --log-ring /
+// --slow-ring).
 int CmdServe(const std::vector<std::string>& argv) {
   ServeOptions options;
   for (size_t i = 2; i < argv.size(); ++i) {
@@ -596,6 +610,17 @@ int CmdServe(const std::vector<std::string>& argv) {
         return Usage();
       }
       options.request_max_sets = value;
+    } else if (arg.rfind("--access-log=", 0) == 0) {
+      options.access_log_path = arg.substr(13);
+    } else if (arg.rfind("--slow-ms=", 0) == 0) {
+      if (!flag_value("--slow-ms=", 0, 86400000, &value)) return Usage();
+      options.slow_request_ms = value;
+    } else if (arg.rfind("--log-ring=", 0) == 0) {
+      if (!flag_value("--log-ring=", 1, 1000000, &value)) return Usage();
+      options.access_log_ring = static_cast<size_t>(value);
+    } else if (arg.rfind("--slow-ring=", 0) == 0) {
+      if (!flag_value("--slow-ring=", 1, 1000000, &value)) return Usage();
+      options.slow_ring = static_cast<size_t>(value);
     } else {
       return Usage();
     }
@@ -618,6 +643,141 @@ int CmdServe(const std::vector<std::string>& argv) {
   }
   std::cout << "shutting down" << std::endl;
   server.Stop();
+  return 0;
+}
+
+// The /statusz document is deliberately flat ("key": number per line), so
+// the operator CLI can read it without a JSON parser: find the quoted key
+// and strtod whatever follows the colon.
+double FindJsonNumber(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t pos = json.find(needle);
+  if (pos == std::string::npos) return 0;
+  return std::strtod(json.c_str() + pos + needle.size(), nullptr);
+}
+
+// First sample of a Prometheus exposition metric (line-anchored match).
+double FindPromValue(const std::string& text, const std::string& name) {
+  const std::string needle = name + " ";
+  size_t pos = 0;
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    if (pos == 0 || text[pos - 1] == '\n') {
+      return std::strtod(text.c_str() + pos + needle.size(), nullptr);
+    }
+    pos += needle.size();
+  }
+  return 0;
+}
+
+// top --port=N [--host=H] [--interval-ms=N] [--count=N]
+// Polls /statusz and /metrics and renders a refreshing one-screen view:
+// qps (both the 60s window and the poll-to-poll delta), latency
+// quantiles, per-code rates, liveness, and compile-cache hits. --count=N
+// exits after N refreshes (0 = run until interrupted).
+int CmdTop(const std::vector<std::string>& argv) {
+  std::string host = "127.0.0.1";
+  int64_t port = 0;
+  int64_t interval_ms = 1000;
+  int64_t count = 0;
+  for (size_t i = 2; i < argv.size(); ++i) {
+    const std::string& arg = argv[i];
+    auto flag_value = [&](const char* prefix, int64_t min_value,
+                          int64_t max_value, int64_t* out) {
+      int value = 0;
+      if (!ParseCount(arg.substr(std::strlen(prefix)), min_value, max_value,
+                      &value)) {
+        return false;
+      }
+      *out = value;
+      return true;
+    };
+    if (arg.rfind("--port=", 0) == 0) {
+      if (!flag_value("--port=", 1, 65535, &port)) return Usage();
+    } else if (arg.rfind("--host=", 0) == 0) {
+      host = arg.substr(7);
+    } else if (arg.rfind("--interval-ms=", 0) == 0) {
+      if (!flag_value("--interval-ms=", 10, 3600000, &interval_ms)) {
+        return Usage();
+      }
+    } else if (arg.rfind("--count=", 0) == 0) {
+      if (!flag_value("--count=", 0, 1000000000, &count)) return Usage();
+    } else {
+      return Usage();
+    }
+  }
+  if (port == 0) return Usage();
+
+  const bool tty = ::isatty(STDOUT_FILENO) != 0;
+  double prev_requests = -1;
+  double prev_cache_hits = 0;
+  auto prev_time = std::chrono::steady_clock::now();
+  for (int64_t iteration = 0; count == 0 || iteration < count; ++iteration) {
+    if (iteration > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+    StatusOr<std::string> statusz = HttpGetBody(host, static_cast<int>(port),
+                                                "/statusz");
+    if (!statusz.ok()) return Fail(statusz.status());
+    StatusOr<std::string> metrics = HttpGetBody(host, static_cast<int>(port),
+                                                "/metrics");
+    if (!metrics.ok()) return Fail(metrics.status());
+    const auto now = std::chrono::steady_clock::now();
+    const double elapsed_s =
+        std::chrono::duration<double>(now - prev_time).count();
+
+    const double total_requests = FindJsonNumber(*statusz, "total_requests");
+    const double cache_hits = FindPromValue(*metrics, "stap_cache_hit");
+    const double delta_qps =
+        prev_requests >= 0 && elapsed_s > 0
+            ? (total_requests - prev_requests) / elapsed_s
+            : 0;
+
+    if (tty) std::fputs("\x1b[2J\x1b[H", stdout);
+    std::printf("stap top — %s:%d    up %.0fs    epoch %.0f    schemas %.0f\n",
+                host.c_str(), static_cast<int>(port),
+                FindJsonNumber(*statusz, "uptime_s"),
+                FindJsonNumber(*statusz, "snapshot_epoch"),
+                FindJsonNumber(*statusz, "schema_count"));
+    std::printf(
+        "requests  total %.0f    qps %.0f (window %.0fs)    qps %.0f "
+        "(last %.1fs)\n",
+        total_requests, FindJsonNumber(*statusz, "window_qps"),
+        FindJsonNumber(*statusz, "window_s"), delta_qps, elapsed_s);
+    std::printf(
+        "latency   p50 %.0fµs    p95 %.0fµs    p99 %.0fµs    max %.0fµs    "
+        "mean %.1fµs\n",
+        FindJsonNumber(*statusz, "p50_us"),
+        FindJsonNumber(*statusz, "p95_us"),
+        FindJsonNumber(*statusz, "p99_us"),
+        FindJsonNumber(*statusz, "max_us"),
+        FindJsonNumber(*statusz, "mean_us"));
+    std::printf(
+        "codes/win ok %.0f  invalid %.0f  error %.0f  busy %.0f  "
+        "exhausted %.0f  not_found %.0f\n",
+        FindJsonNumber(*statusz, "window_ok"),
+        FindJsonNumber(*statusz, "window_invalid"),
+        FindJsonNumber(*statusz, "window_error"),
+        FindJsonNumber(*statusz, "window_busy"),
+        FindJsonNumber(*statusz, "window_exhausted"),
+        FindJsonNumber(*statusz, "window_not_found"));
+    std::printf(
+        "liveness  conns %.0f/%.0f    inflight %.0f    cache hits %.0f "
+        "(+%.0f)\n",
+        FindJsonNumber(*statusz, "active_connections"),
+        FindJsonNumber(*statusz, "max_connections"),
+        FindJsonNumber(*statusz, "inflight"), cache_hits,
+        prev_requests >= 0 ? cache_hits - prev_cache_hits : 0);
+    std::printf(
+        "log       slow %.0f captured    %.0f lines    %.0f dropped\n",
+        FindJsonNumber(*statusz, "slow_captured"),
+        FindJsonNumber(*statusz, "access_log_lines"),
+        FindJsonNumber(*statusz, "access_log_dropped"));
+    std::fflush(stdout);
+
+    prev_requests = total_requests;
+    prev_cache_hits = cache_hits;
+    prev_time = now;
+  }
   return 0;
 }
 
@@ -860,6 +1020,7 @@ int RunCommand(const std::vector<std::string>& argv, GlobalOptions& options) {
     return CmdExplain(argv[2], argc == 4, options);
   }
   if (command == "serve") return CmdServe(argv);
+  if (command == "top") return CmdTop(argv);
   return Usage();
 }
 
