@@ -1,0 +1,37 @@
+// A sound single-type lower approximation of an EDTD.
+//
+// The dual of Construction 3.1: run the same subset construction on the
+// type automaton, but give each merged state the *intersection* of the
+// μ-homomorphic images of its members' content models instead of their
+// union. A tree accepted by the result assigns, by induction on height,
+// every type in a node's subset to that node's subtree — children words
+// lie in every member's content image, and the occurring witnesses stay
+// inside the child subsets — so the language is contained in L(edtd).
+//
+// The result is exact on single-type inputs (all reachable subsets are
+// singletons, so intersection and union coincide and the output is the
+// input's DfaXsd form). It is NOT the maximal single-type sublanguage in
+// general: maximality is the paper's open Section 4 problem (no unique
+// maximal approximation exists — Theorem 4.3's example has two
+// incomparable maximal lower approximations, and this construction may
+// undershoot both). What it gives `stap measure` is a sound, cheap
+// baseline whose loss |L(S) \ L(lower)| the counting DPs can quantify.
+#ifndef STAP_APPROX_LOWER_H_
+#define STAP_APPROX_LOWER_H_
+
+#include "stap/base/budget.h"
+#include "stap/base/status.h"
+#include "stap/schema/edtd.h"
+#include "stap/schema/single_type.h"
+
+namespace stap {
+
+// Returns a single-type lower approximation with L(result) ⊆ L(edtd).
+// The input is reduced internally. For an input with empty language the
+// result is the empty XSD (no start symbols). A null budget is unlimited.
+StatusOr<DfaXsd> SubsetIntersectionLower(const Edtd& edtd,
+                                         Budget* budget = nullptr);
+
+}  // namespace stap
+
+#endif  // STAP_APPROX_LOWER_H_

@@ -1,0 +1,162 @@
+#include "stap/count/measure.h"
+
+#include <sstream>
+#include <utility>
+
+#include "stap/approx/lower.h"
+#include "stap/approx/upper.h"
+#include "stap/base/metrics.h"
+#include "stap/base/trace.h"
+#include "stap/schema/reduce.h"
+#include "stap/schema/type_automaton.h"
+
+namespace stap {
+
+namespace {
+
+// JSON string of a count plus its double magnitude, e.g.
+// "schema": "42", "schema_approx": 42.0.
+void AppendCountField(std::ostringstream* os, const char* name,
+                      const CountValue& value) {
+  *os << "\"" << name << "\":\"" << value.ToString() << "\",\"" << name
+      << "_approx\":" << value.ToDouble();
+}
+
+}  // namespace
+
+double MeasureResult::UpperPrecision(int d) const {
+  return CountRatio(schema[d], upper[d]);
+}
+
+double MeasureResult::LowerRecall(int d) const {
+  return CountRatio(lower_common[d], schema[d]);
+}
+
+std::string MeasureResult::ToText() const {
+  std::ostringstream os;
+  os << "bounds: depth <= " << bounds.max_depth << ", width <= "
+     << bounds.max_width << "\n";
+  os << "schema: " << schema_types << " types"
+     << (single_type ? " (single-type)" : "") << "\n";
+  if (has_upper) os << "upper approximation: " << upper_states << " states\n";
+  if (has_lower) os << "lower approximation: " << lower_states << " states\n";
+  for (int d = 0; d < bounds.max_depth; ++d) {
+    os << "depth " << (d + 1) << ": |L(S)| = " << schema[d].ToString();
+    if (has_upper) {
+      os << "  |L(upper)| = " << upper[d].ToString()
+         << "  gained = " << gained[d].ToString() << "  precision = "
+         << UpperPrecision(d);
+    }
+    if (has_lower) {
+      os << "  |L(lower)| = " << lower[d].ToString()
+         << "  lost = " << lost[d].ToString() << "  recall = "
+         << LowerRecall(d);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string MeasureResult::ToJson() const {
+  std::ostringstream os;
+  os << "{\"max_depth\":" << bounds.max_depth << ",\"max_width\":"
+     << bounds.max_width << ",\"single_type\":"
+     << (single_type ? "true" : "false") << ",\"schema_types\":"
+     << schema_types;
+  if (has_upper) os << ",\"upper_states\":" << upper_states;
+  if (has_lower) os << ",\"lower_states\":" << lower_states;
+  os << ",\"per_depth\":[";
+  for (int d = 0; d < bounds.max_depth; ++d) {
+    if (d > 0) os << ",";
+    os << "{\"depth\":" << (d + 1) << ",";
+    AppendCountField(&os, "schema", schema[d]);
+    if (has_upper) {
+      os << ",";
+      AppendCountField(&os, "upper", upper[d]);
+      os << ",";
+      AppendCountField(&os, "gained", gained[d]);
+      os << ",\"upper_precision\":" << UpperPrecision(d);
+    }
+    if (has_lower) {
+      os << ",";
+      AppendCountField(&os, "lower", lower[d]);
+      os << ",";
+      AppendCountField(&os, "lost", lost[d]);
+      os << ",\"lower_recall\":" << LowerRecall(d);
+    }
+    os << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+StatusOr<MeasureResult> MeasureSchema(const Edtd& schema,
+                                      const MeasureOptions& options,
+                                      Budget* budget) {
+  static Counter* const calls = GetCounter("count.measure_calls");
+  static Histogram* const latency = GetHistogram("count.measure_ms");
+  calls->Increment();
+  ScopedTimer timer(latency);
+  ScopedSpan span("count.measure");
+
+  MeasureResult result;
+  result.bounds = options.bounds;
+
+  ScopedSpan reduce_span("measure.reduce");
+  const Edtd reduced = ReduceEdtd(schema);
+  result.schema_types = reduced.num_types();
+  result.single_type = IsSingleType(reduced);
+  reduce_span.End();
+
+  ScopedSpan schema_span("measure.count_schema");
+  StatusOr<std::vector<CountValue>> schema_counts =
+      CountEdtdByDepth(reduced, options.bounds, budget);
+  if (!schema_counts.ok()) return schema_counts.status();
+  result.schema = *std::move(schema_counts);
+  schema_span.End();
+
+  if (options.upper) {
+    ScopedSpan upper_span("measure.upper");
+    StatusOr<DfaXsd> upper = MinimalUpperApproximation(reduced, budget);
+    if (!upper.ok()) return upper.status();
+    result.has_upper = true;
+    result.upper_states = upper->type_size();
+    StatusOr<std::vector<CountValue>> upper_counts =
+        CountXsdByDepth(*upper, options.bounds, budget);
+    if (!upper_counts.ok()) return upper_counts.status();
+    result.upper = *std::move(upper_counts);
+    StatusOr<std::vector<CountValue>> common =
+        CountIntersectionByDepth(*upper, reduced, options.bounds, budget);
+    if (!common.ok()) return common.status();
+    result.upper_common = *std::move(common);
+    for (int d = 0; d < options.bounds.max_depth; ++d) {
+      result.gained.push_back(
+          CountValue::Sub(result.upper[d], result.upper_common[d]));
+    }
+  }
+
+  if (options.lower) {
+    ScopedSpan lower_span("measure.lower");
+    StatusOr<DfaXsd> lower = SubsetIntersectionLower(reduced, budget);
+    if (!lower.ok()) return lower.status();
+    result.has_lower = true;
+    result.lower_states = lower->type_size();
+    StatusOr<std::vector<CountValue>> lower_counts =
+        CountXsdByDepth(*lower, options.bounds, budget);
+    if (!lower_counts.ok()) return lower_counts.status();
+    result.lower = *std::move(lower_counts);
+    StatusOr<std::vector<CountValue>> common =
+        CountIntersectionByDepth(*lower, reduced, options.bounds, budget);
+    if (!common.ok()) return common.status();
+    result.lower_common = *std::move(common);
+    for (int d = 0; d < options.bounds.max_depth; ++d) {
+      result.lost.push_back(
+          CountValue::Sub(result.schema[d], result.lower_common[d]));
+    }
+  }
+
+  span.AddArg("depth", options.bounds.max_depth);
+  return result;
+}
+
+}  // namespace stap

@@ -2,11 +2,14 @@
 
 #include <deque>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "stap/automata/minimize.h"
 #include "stap/automata/ops.h"
 #include "stap/base/check.h"
+#include "stap/regex/ast.h"
+#include "stap/regex/glushkov.h"
 #include "stap/schema/reduce.h"
 #include "stap/schema/single_type.h"
 
@@ -21,6 +24,35 @@ int Pick(std::mt19937* rng, int bound) {
 
 bool Chance(std::mt19937* rng, int percent) {
   return Pick(rng, 100) < percent;
+}
+
+// A counted content model  u x{n,m} v  (optionally | ε) over `allowed`,
+// compiled through the Glushkov pipeline with its kRepeat provenance.
+std::pair<Dfa, RegexPtr> RandomRepeatContent(std::mt19937* rng,
+                                             int num_symbols,
+                                             const std::vector<int>& allowed,
+                                             int epsilon_percent) {
+  STAP_CHECK(!allowed.empty());
+  auto pick_symbol = [&] {
+    return allowed[Pick(rng, static_cast<int>(allowed.size()))];
+  };
+  std::vector<RegexPtr> parts;
+  if (Chance(rng, 40)) parts.push_back(Regex::Symbol(pick_symbol()));
+  // Keep the bounds outside the shapes the Repeat factory folds into
+  // ?/*/+ ({0,1}, {1,1}), so the content model carries a real kRepeat.
+  const int min = Pick(rng, 3);
+  const int max = min + (min == 0 ? 2 : 1) + Pick(rng, 3);
+  parts.push_back(Regex::Repeat(Regex::Symbol(pick_symbol()), min, max));
+  if (Chance(rng, 40)) parts.push_back(Regex::Symbol(pick_symbol()));
+  RegexPtr regex = Regex::Concat(std::move(parts));
+  if (Chance(rng, epsilon_percent)) {
+    std::vector<RegexPtr> alternatives;
+    alternatives.push_back(Regex::Epsilon());
+    alternatives.push_back(std::move(regex));
+    regex = Regex::Union(std::move(alternatives));
+  }
+  Dfa dfa = Minimize(RegexToDfa(*regex, num_symbols));
+  return {std::move(dfa), std::move(regex)};
 }
 
 // Distance (in symbols) from every state to acceptance; -1 if none.
@@ -173,6 +205,70 @@ std::optional<Word> SampleWord(const Dfa& dfa, std::mt19937* rng,
   }
 }
 
+namespace {
+
+Tree SampleUniformAt(const DfaXsd& xsd, const XsdSizeTables& tables, int q,
+                     int size, std::mt19937* rng);
+
+// Extends `out` with a forest of total size r completing content[q] from
+// state cs, each completion drawn with probability 1 / forests[q][cs][r].
+void SampleUniformForest(const DfaXsd& xsd, const XsdSizeTables& tables,
+                         int q, int cs, int r, std::mt19937* rng,
+                         std::vector<Tree>* out) {
+  if (r == 0) return;  // the empty forest is the only size-0 completion
+  const Dfa& content = xsd.content[q];
+  BigNat target = BigNat::RandomBelow(tables.forests[q][cs][r], rng);
+  BigNat acc;
+  for (int a = 0; a < xsd.sigma.size(); ++a) {
+    const int cs_next = content.Next(cs, a);
+    const int child = xsd.automaton.Next(q, a);
+    if (cs_next == kNoState || child == kNoState) continue;
+    for (int k = 1; k <= r; ++k) {
+      const BigNat& head = tables.trees[child][k];
+      const BigNat& rest = tables.forests[q][cs_next][r - k];
+      if (head.IsZero() || rest.IsZero()) continue;
+      acc = BigNat::Add(acc, BigNat::Mul(head, rest));
+      if (BigNat::Compare(target, acc) < 0) {
+        out->push_back(SampleUniformAt(xsd, tables, child, k, rng));
+        SampleUniformForest(xsd, tables, q, cs_next, r - k, rng, out);
+        return;
+      }
+    }
+  }
+  STAP_CHECK(false);  // the (a, k) weights sum to forests[q][cs][r]
+}
+
+Tree SampleUniformAt(const DfaXsd& xsd, const XsdSizeTables& tables, int q,
+                     int size, std::mt19937* rng) {
+  Tree tree(xsd.state_label[q]);
+  SampleUniformForest(xsd, tables, q, xsd.content[q].initial(), size - 1,
+                      rng, &tree.children);
+  return tree;
+}
+
+}  // namespace
+
+std::optional<Tree> SampleTreeUniform(const DfaXsd& xsd,
+                                      const XsdSizeTables& tables,
+                                      int num_nodes, std::mt19937* rng) {
+  STAP_CHECK(num_nodes >= 0 && num_nodes <= tables.max_size);
+  if (num_nodes == 0 || tables.totals[num_nodes].IsZero()) {
+    return std::nullopt;
+  }
+  BigNat target = BigNat::RandomBelow(tables.totals[num_nodes], rng);
+  BigNat acc;
+  for (int a : xsd.start_symbols) {
+    const int q = xsd.automaton.Next(xsd.automaton.initial(), a);
+    if (q == kNoState) continue;
+    acc = BigNat::Add(acc, tables.trees[q][num_nodes]);
+    if (BigNat::Compare(target, acc) < 0) {
+      return SampleUniformAt(xsd, tables, q, num_nodes, rng);
+    }
+  }
+  STAP_CHECK(false);  // per-root weights sum to totals[num_nodes]
+  return std::nullopt;
+}
+
 std::optional<Tree> SampleTree(const DfaXsd& xsd, std::mt19937* rng,
                                int max_depth) {
   std::vector<std::optional<Tree>> witness = WitnessTrees(xsd);
@@ -196,7 +292,19 @@ Edtd RandomEdtd(std::mt19937* rng, const RandomSchemaParams& params) {
       edtd.types.Intern("t" + std::to_string(tau));
       edtd.mu.push_back(Pick(rng, params.num_symbols));
     }
+    if (params.repeat_percent > 0) {
+      edtd.content_source.assign(params.num_types, nullptr);
+    }
+    std::vector<int> all_types(params.num_types);
+    for (int tau = 0; tau < params.num_types; ++tau) all_types[tau] = tau;
     for (int tau = 0; tau < params.num_types; ++tau) {
+      if (params.repeat_percent > 0 && Chance(rng, params.repeat_percent)) {
+        auto [dfa, regex] = RandomRepeatContent(
+            rng, params.num_types, all_types, params.epsilon_percent);
+        edtd.content.push_back(std::move(dfa));
+        edtd.content_source[tau] = std::move(regex);
+        continue;
+      }
       // Content: a few random words over random types.
       std::vector<Word> words;
       if (Chance(rng, params.epsilon_percent)) words.push_back({});
@@ -410,10 +518,21 @@ Edtd RandomStEdtd(std::mt19937* rng, const RandomSchemaParams& params) {
     }
     // Content models over the locally available labels.
     xsd.content.resize(num_states, Dfa::EmptyLanguage(num_symbols));
+    if (params.repeat_percent > 0) {
+      xsd.content_source.assign(num_states, nullptr);
+    }
     for (int q = 1; q < num_states; ++q) {
       std::vector<int> allowed;
       for (int a = 0; a < num_symbols; ++a) {
         if (xsd.automaton.Next(q, a) != kNoState) allowed.push_back(a);
+      }
+      if (!allowed.empty() && params.repeat_percent > 0 &&
+          Chance(rng, params.repeat_percent)) {
+        auto [dfa, regex] = RandomRepeatContent(rng, num_symbols, allowed,
+                                                params.epsilon_percent);
+        xsd.content[q] = std::move(dfa);
+        xsd.content_source[q] = std::move(regex);
+        continue;
       }
       std::vector<Word> words;
       if (allowed.empty() || Chance(rng, params.epsilon_percent)) {

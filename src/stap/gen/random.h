@@ -7,6 +7,7 @@
 #include <optional>
 #include <random>
 
+#include "stap/count/counter.h"
 #include "stap/schema/edtd.h"
 #include "stap/schema/single_type.h"
 #include "stap/tree/tree.h"
@@ -20,6 +21,11 @@ struct RandomSchemaParams {
   int content_breadth = 2;
   // Probability (percent) that a content model admits ε.
   int epsilon_percent = 60;
+  // Probability (percent) that a content model is a counted expression
+  // u x{n,m} v compiled from a kRepeat regex (with provenance recorded in
+  // content_source) instead of a finite word set. Honored by RandomEdtd
+  // and RandomStEdtd.
+  int repeat_percent = 0;
 };
 
 // A random *reduced* EDTD (non-empty language); retries internally until
@@ -52,6 +58,17 @@ Edtd RandomNonRecursiveStEdtd(std::mt19937* rng,
 // reached. Returns nullopt only for the empty language.
 std::optional<Tree> SampleTree(const DfaXsd& xsd, std::mt19937* rng,
                                int max_depth = 6);
+
+// Exact-weight sampling: a uniform draw from the accepted trees with
+// exactly `num_nodes` nodes, using size tables from BuildXsdSizeTables
+// (count/counter.h) as cumulative weights — every choice (root symbol,
+// child label, child subtree size) is made proportionally to the number
+// of completions it admits, so all trees of the size are equally likely.
+// Returns nullopt when no accepted tree has that size. Require: the
+// tables were built for `xsd` and num_nodes <= tables.max_size.
+std::optional<Tree> SampleTreeUniform(const DfaXsd& xsd,
+                                      const XsdSizeTables& tables,
+                                      int num_nodes, std::mt19937* rng);
 
 // Random accepted word of `dfa`: random walk that switches to the shortest
 // accepting continuation after `soft_length` steps. Returns nullopt for

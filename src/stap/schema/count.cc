@@ -3,71 +3,23 @@
 #include <vector>
 
 #include "stap/base/check.h"
+#include "stap/count/counter.h"
 
 namespace stap {
-
-namespace {
-
-// Weighted count of words of length <= max_width in `content`, where each
-// symbol a multiplies by weight[a]: the number of distinct child forests
-// matching the content model with the given per-label subtree counts.
-double CountContent(const Dfa& content, const std::vector<double>& weight,
-                    int max_width) {
-  if (content.num_states() == 0) return 0.0;
-  // paths[s] = weighted count of prefixes of the current length landing
-  // in state s.
-  std::vector<double> paths(content.num_states(), 0.0);
-  paths[content.initial()] = 1.0;
-  double total = content.IsFinal(content.initial()) ? 1.0 : 0.0;
-  for (int length = 1; length <= max_width; ++length) {
-    std::vector<double> next(content.num_states(), 0.0);
-    for (int s = 0; s < content.num_states(); ++s) {
-      if (paths[s] == 0.0) continue;
-      for (int a = 0; a < content.num_symbols(); ++a) {
-        int r = content.Next(s, a);
-        if (r != kNoState && weight[a] > 0.0) {
-          next[r] += paths[s] * weight[a];
-        }
-      }
-    }
-    paths = std::move(next);
-    for (int s = 0; s < content.num_states(); ++s) {
-      if (content.IsFinal(s)) total += paths[s];
-    }
-  }
-  return total;
-}
-
-}  // namespace
 
 double CountDocuments(const DfaXsd& xsd, int max_depth, int max_width) {
   STAP_CHECK(max_depth >= 1);
   STAP_CHECK(max_width >= 0);
-  const int n = xsd.automaton.num_states();
-  const int num_symbols = xsd.sigma.size();
-
-  // count[q] = number of subtrees rooted at state q with depth <= d.
-  std::vector<double> count(n, 0.0);
-  for (int d = 1; d <= max_depth; ++d) {
-    std::vector<double> next(n, 0.0);
-    for (int q = 1; q < n; ++q) {
-      // Per-label weights: subtrees of the child state, one level less.
-      std::vector<double> weight(num_symbols, 0.0);
-      for (int a = 0; a < num_symbols; ++a) {
-        int child = xsd.automaton.Next(q, a);
-        if (child != kNoState) weight[a] = count[child];
-      }
-      next[q] = CountContent(xsd.content[q], weight, max_width);
-    }
-    count = std::move(next);
-  }
-
-  double total = 0.0;
-  for (int a : xsd.start_symbols) {
-    int q = xsd.automaton.Next(xsd.automaton.initial(), a);
-    if (q != kNoState) total += count[q];
-  }
-  return total;
+  // Delegates to the big-int counting DP (count/counter.h); the double
+  // return keeps the original approximate-counting contract for callers
+  // that only need magnitudes (diff reports, `stap count`).
+  CountBounds bounds;
+  bounds.max_depth = max_depth;
+  bounds.max_width = max_width;
+  StatusOr<std::vector<CountValue>> counts =
+      CountXsdByDepth(xsd, bounds, nullptr);
+  STAP_CHECK(counts.ok());  // a null budget never exhausts
+  return counts->back().ToDouble();
 }
 
 }  // namespace stap

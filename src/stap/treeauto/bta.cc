@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include <utility>
 
 #include "stap/automata/state_set_hash.h"
 #include "stap/base/check.h"
@@ -124,14 +125,16 @@ bool DetBta::Accepts(const Tree& tree) const {
   return final_[EvalState(tree)];
 }
 
-DetBta DeterminizeBta(const Bta& bta) {
+StatusOr<DetBta> DeterminizeBta(const Bta& bta, Budget* budget) {
   DetBta det;
   det.num_symbols_ = bta.num_symbols();
 
   std::unordered_map<StateSet, int, StateSetHash> ids;
+  Status charge_status;
   auto intern = [&](const StateSet& subset) -> int {
     auto [it, inserted] = ids.emplace(subset, det.subsets_.size());
     if (inserted) {
+      if (charge_status.ok()) charge_status = Budget::ChargeStates(budget);
       det.subsets_.push_back(subset);
       bool is_final = std::any_of(subset.begin(), subset.end(),
                                   [&](int q) { return bta.IsFinal(q); });
@@ -150,12 +153,15 @@ DetBta DeterminizeBta(const Bta& bta) {
   // no new subset or entry appears.
   bool changed = true;
   while (changed) {
+    STAP_RETURN_IF_ERROR(charge_status);
+    STAP_RETURN_IF_ERROR(Budget::CheckDeadline(budget));
     changed = false;
     const int known = det.num_states();
     for (int a = 0; a < bta.num_symbols(); ++a) {
       for (int s1 = 0; s1 < known; ++s1) {
         for (int s2 = 0; s2 < known; ++s2) {
           if (det.internal_.count({a, s1, s2}) > 0) continue;
+          STAP_RETURN_IF_ERROR(Budget::ChargeSets(budget));
           StateSet combined;
           for (int q1 : det.subsets_[s1]) {
             for (int q2 : det.subsets_[s2]) {
@@ -171,7 +177,13 @@ DetBta DeterminizeBta(const Bta& bta) {
       }
     }
   }
+  STAP_RETURN_IF_ERROR(charge_status);
   return det;
+}
+
+DetBta DeterminizeBta(const Bta& bta) {
+  StatusOr<DetBta> result = DeterminizeBta(bta, nullptr);
+  return *std::move(result);  // a null budget never exhausts
 }
 
 }  // namespace stap

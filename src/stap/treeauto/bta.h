@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "stap/automata/nfa.h"
+#include "stap/base/budget.h"
+#include "stap/base/status.h"
 #include "stap/tree/tree.h"
 
 namespace stap {
@@ -78,6 +80,7 @@ class DetBta {
 
  private:
   friend DetBta DeterminizeBta(const Bta& bta);
+  friend StatusOr<DetBta> DeterminizeBta(const Bta& bta, Budget* budget);
 
   int num_symbols_ = 0;
   int sink_ = 0;
@@ -90,6 +93,12 @@ class DetBta {
 // Bottom-up subset construction over the reachable subsets (exponential in
 // the worst case — the paper's Section 4.4 cost).
 DetBta DeterminizeBta(const Bta& bta);
+
+// Budgeted variant: every interned subset charges the state quota and
+// every materialized internal transition the set quota, so adversarial
+// inputs abort with kResourceExhausted instead of exhausting memory.
+// A null budget is unlimited.
+StatusOr<DetBta> DeterminizeBta(const Bta& bta, Budget* budget);
 
 }  // namespace stap
 

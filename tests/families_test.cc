@@ -6,6 +6,7 @@
 #include "stap/approx/closure.h"
 #include "stap/approx/inclusion.h"
 #include "stap/approx/upper_boolean.h"
+#include "stap/count/counter.h"
 #include "stap/gen/families.h"
 #include "stap/regex/parser.h"
 #include "stap/schema/reduce.h"
@@ -175,6 +176,67 @@ TEST(Theorem411FamilyTest, LadderOfLowerApproximations) {
           Theorem411LowerApproximation(n - 1).Accepts(witness));
     }
   }
+}
+
+// doc(header, item(field^fields)^items [, footer]) — the only tree shape
+// CountedFamily accepts, parameterized by the counted bounds.
+Tree CountedDoc(const Edtd& edtd, int items, int fields, bool footer) {
+  int doc = edtd.sigma.Find("doc"), header = edtd.sigma.Find("header");
+  int item = edtd.sigma.Find("item"), field = edtd.sigma.Find("field");
+  std::vector<Tree> children;
+  children.push_back(Tree(header));
+  for (int i = 0; i < items; ++i) {
+    children.push_back(
+        Tree(item, std::vector<Tree>(fields, Tree(field))));
+  }
+  if (footer) children.push_back(Tree(edtd.sigma.Find("footer")));
+  return Tree(doc, std::move(children));
+}
+
+TEST(CountedFamilyTest, HonorsTheOccurrenceBounds) {
+  Edtd edtd = CountedFamily(2, 4);
+  for (int items = 0; items <= 6; ++items) {
+    for (bool footer : {false, true}) {
+      bool expected = items >= 2 && items <= 4;
+      EXPECT_EQ(edtd.Accepts(CountedDoc(edtd, items, 1, footer)), expected)
+          << items << " items, footer=" << footer;
+      EXPECT_EQ(edtd.Accepts(CountedDoc(edtd, items, 3, footer)), expected)
+          << items << " items, footer=" << footer;
+    }
+  }
+  // Field counts outside 1..3 break the inner counted bound.
+  EXPECT_FALSE(edtd.Accepts(CountedDoc(edtd, 2, 0, false)));
+  EXPECT_FALSE(edtd.Accepts(CountedDoc(edtd, 2, 4, false)));
+}
+
+TEST(CountedFamilyTest, RecordsRepeatProvenance) {
+  Edtd edtd = CountedFamily(1, 2);
+  ASSERT_EQ(edtd.content_source.size(),
+            static_cast<size_t>(edtd.num_types()));
+  const RegexPtr& doc_source =
+      edtd.content_source[edtd.types.Find("Doc")];
+  ASSERT_NE(doc_source, nullptr);
+  EXPECT_TRUE(doc_source->ContainsRepeat());
+  const RegexPtr& item_source =
+      edtd.content_source[edtd.types.Find("Item")];
+  ASSERT_NE(item_source, nullptr);
+  EXPECT_TRUE(item_source->ContainsRepeat());
+}
+
+TEST(CountedFamilyTest, SliceCountMatchesClosedForm) {
+  // CountedFamily(1, 2) at depth 3, width >= 4: the doc node carries a
+  // header, k ∈ {1, 2} items of 1..3 fields each, and an optional
+  // footer — (3 + 3²) × 2 = 24 documents.
+  Edtd edtd = CountedFamily(1, 2);
+  CountBounds bounds;
+  bounds.max_depth = 3;
+  bounds.max_width = 4;
+  StatusOr<std::vector<CountValue>> counts =
+      CountEdtdByDepth(edtd, bounds, nullptr);
+  ASSERT_TRUE(counts.ok());
+  EXPECT_EQ((*counts)[0].ToString(), "0");  // a bare doc is invalid
+  EXPECT_EQ((*counts)[1].ToString(), "0");  // items need fields
+  EXPECT_EQ((*counts)[2].ToString(), "24");
 }
 
 TEST(Example26Test, MatchesThePaper) {

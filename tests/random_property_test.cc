@@ -136,6 +136,86 @@ TEST_P(PipelineTest, MinimizationIsOrderInsensitive) {
                                    StEdtdFromDfaXsd(u21)));
 }
 
+// The counted-content variants: with repeat_percent set the generators
+// route through RandomRepeatContent, so the pipeline laws above are also
+// exercised on kRepeat (r{n,m}) content models — a path PR 8 added that
+// the original tests never reached.
+
+TEST_P(PipelineTest, CountedContentSampledTreesAreMembers) {
+  RandomSchemaParams params;
+  params.repeat_percent = 100;
+  Edtd schema = RandomStEdtd(&rng_, params);
+  EXPECT_TRUE(IsSingleType(schema));
+  DfaXsd xsd = DfaXsdFromStEdtd(schema);
+  for (int i = 0; i < 10; ++i) {
+    std::optional<Tree> tree = SampleTree(xsd, &rng_, 5);
+    ASSERT_TRUE(tree.has_value());
+    EXPECT_TRUE(xsd.Accepts(*tree)) << tree->ToString(xsd.sigma);
+  }
+}
+
+TEST_P(PipelineTest, CountedContentTextFormatRoundTrips) {
+  RandomSchemaParams params;
+  params.num_types = 4;
+  params.repeat_percent = 100;
+  Edtd schema = RandomStEdtd(&rng_, params);
+  std::string text = SchemaToText(schema);
+  StatusOr<Edtd> reparsed = ParseSchema(text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status() << "\n" << text;
+  EXPECT_TRUE(SingleTypeEquivalent(schema, *reparsed)) << text;
+}
+
+TEST_P(PipelineTest, CountedContentUpperBooleanLatticeLaws) {
+  RandomSchemaParams params;
+  params.num_symbols = 2;
+  params.num_types = 3;
+  params.content_breadth = 1;
+  params.repeat_percent = 100;
+  Edtd d1 = RandomStEdtd(&rng_, params);
+  Edtd d2 = RandomStEdtd(&rng_, params);
+
+  DfaXsd u = UpperUnion(d1, d2);
+  EXPECT_TRUE(EdtdIncludedInXsd(d1, u));
+  EXPECT_TRUE(EdtdIncludedInXsd(d2, u));
+
+  DfaXsd i = UpperIntersection(d1, d2);
+  Edtd i_edtd = StEdtdFromDfaXsd(i);
+  EXPECT_TRUE(IncludedInSingleType(i_edtd, d1));
+  EXPECT_TRUE(IncludedInSingleType(i_edtd, d2));
+
+  auto [a1, a2] = AlignAlphabets(d1, d2);
+  for (const Tree& tree : EnumerateTrees({3, 3, 2})) {
+    bool in1 = a1.Accepts(tree), in2 = a2.Accepts(tree);
+    if (in1 || in2) {
+      EXPECT_TRUE(u.Accepts(tree));
+    }
+    EXPECT_EQ(i.Accepts(tree), in1 && in2) << tree.ToString(a1.sigma);
+  }
+}
+
+// The generators must actually emit kRepeat nodes, not just set the
+// plumbing up: across the fixed seed range, reduction keeps at least
+// some counted provenance, and every surviving entry contains a repeat.
+TEST(PipelineRepeatProvenanceTest, GeneratorsEmitRepeatNodes) {
+  int surviving_repeat_sources = 0;
+  for (int seed = 0; seed < 20; ++seed) {
+    std::mt19937 rng(static_cast<uint32_t>(seed * 69061 + 17));
+    RandomSchemaParams params;
+    params.repeat_percent = 100;
+    Edtd edtd = RandomEdtd(&rng, params);
+    EXPECT_TRUE(IsReduced(edtd)) << "seed " << seed;
+    if (edtd.content_source.empty()) continue;  // retry-exhausted fallback
+    EXPECT_EQ(edtd.content_source.size(), edtd.content.size());
+    for (const RegexPtr& source : edtd.content_source) {
+      if (source == nullptr) continue;
+      EXPECT_TRUE(source->ContainsRepeat()) << "seed " << seed;
+      ++surviving_repeat_sources;
+    }
+  }
+  EXPECT_GT(surviving_repeat_sources, 0)
+      << "no counted content model survived generator reduction";
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, PipelineTest, ::testing::Range(0, 20));
 
 }  // namespace

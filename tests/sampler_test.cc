@@ -1,0 +1,201 @@
+// Exact-weight uniform sampling tests (gen/random.h SampleTreeUniform).
+//
+// Three claims, each checked against brute force:
+//  * the size tables are exact — totals[s] equals the number of accepted
+//    trees with exactly s nodes, counted by enumerating every tree of
+//    that size and calling Accepts;
+//  * every sampled tree validates and has exactly the requested size
+//    (differential check over random single-type schemas);
+//  * the draw is uniform — a chi-squared test over all size-k members of
+//    a fixed schema, seeded and deterministic.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "stap/count/counter.h"
+#include "stap/gen/random.h"
+#include "stap/schema/builder.h"
+#include "stap/schema/reduce.h"
+#include "stap/schema/single_type.h"
+#include "stap/schema/validate.h"
+#include "stap/tree/tree.h"
+#include "test_seed.h"
+
+namespace stap {
+namespace {
+
+using test::MixSeed;
+
+std::vector<std::vector<Tree>> ForestsOfTotal(int total, int num_symbols);
+
+// Every tree with exactly `size` nodes over labels 0..num_symbols-1.
+std::vector<Tree> TreesOfSize(int size, int num_symbols) {
+  std::vector<Tree> result;
+  if (size <= 0) return result;
+  for (const std::vector<Tree>& forest :
+       ForestsOfTotal(size - 1, num_symbols)) {
+    for (int label = 0; label < num_symbols; ++label) {
+      result.push_back(Tree(label, forest));
+    }
+  }
+  return result;
+}
+
+// Every ordered forest with `total` nodes across its trees.
+std::vector<std::vector<Tree>> ForestsOfTotal(int total, int num_symbols) {
+  std::vector<std::vector<Tree>> result;
+  if (total == 0) {
+    result.emplace_back();
+    return result;
+  }
+  for (int head = 1; head <= total; ++head) {
+    for (const Tree& tree : TreesOfSize(head, num_symbols)) {
+      for (const std::vector<Tree>& rest :
+           ForestsOfTotal(total - head, num_symbols)) {
+        std::vector<Tree> forest;
+        forest.reserve(rest.size() + 1);
+        forest.push_back(tree);
+        forest.insert(forest.end(), rest.begin(), rest.end());
+        result.push_back(std::move(forest));
+      }
+    }
+  }
+  return result;
+}
+
+// One type per label, so single-type by construction: a's children are
+// any word over {b, c}, c optionally wraps one b, b is a leaf. Twelve
+// accepted trees have exactly four nodes.
+DfaXsd FixedXsd() {
+  SchemaBuilder builder;
+  builder.AddType("Root", "a", "(B | C)*");
+  builder.AddType("B", "b", "%");
+  builder.AddType("C", "c", "B?");
+  builder.AddStart("Root");
+  return DfaXsdFromStEdtd(ReduceEdtd(builder.Build()));
+}
+
+uint64_t OracleSizeCount(const DfaXsd& xsd, int size) {
+  uint64_t count = 0;
+  for (const Tree& tree : TreesOfSize(size, xsd.sigma.size())) {
+    if (xsd.Accepts(tree)) ++count;
+  }
+  return count;
+}
+
+TEST(SamplerTest, SizeTableTotalsMatchExactSizeEnumeration) {
+  const DfaXsd fixed = FixedXsd();
+  StatusOr<XsdSizeTables> tables = BuildXsdSizeTables(fixed, 6, nullptr);
+  ASSERT_TRUE(tables.ok());
+  for (int s = 1; s <= 6; ++s) {
+    EXPECT_EQ(tables->totals[s].ToString(),
+              std::to_string(OracleSizeCount(fixed, s)))
+        << "fixed schema, size " << s;
+  }
+  EXPECT_EQ(tables->totals[4].ToString(), "12");
+
+  for (int i = 0; i < 40; ++i) {
+    std::mt19937 rng(MixSeed(0x5A3B1E + i));
+    RandomSchemaParams params;
+    params.num_symbols = 2;
+    params.num_types = 3;
+    params.repeat_percent = (i % 2 == 0) ? 40 : 0;
+    const DfaXsd xsd = DfaXsdFromStEdtd(RandomStEdtd(&rng, params));
+    StatusOr<XsdSizeTables> random_tables =
+        BuildXsdSizeTables(xsd, 6, nullptr);
+    ASSERT_TRUE(random_tables.ok()) << "schema " << i;
+    for (int s = 1; s <= 6; ++s) {
+      ASSERT_EQ(random_tables->totals[s].ToString(),
+                std::to_string(OracleSizeCount(xsd, s)))
+          << "schema " << i << ", size " << s << "\n"
+          << StEdtdFromDfaXsd(xsd).ToString();
+    }
+  }
+}
+
+TEST(SamplerTest, EverySampledTreeValidatesAtTheRequestedSize) {
+  for (int i = 0; i < 25; ++i) {
+    std::mt19937 rng(MixSeed(0xFACADE + i));
+    RandomSchemaParams params;
+    params.num_symbols = 3;
+    params.num_types = 4;
+    params.repeat_percent = (i % 3 == 0) ? 40 : 0;
+    const DfaXsd xsd = DfaXsdFromStEdtd(RandomStEdtd(&rng, params));
+    StatusOr<XsdSizeTables> tables = BuildXsdSizeTables(xsd, 8, nullptr);
+    ASSERT_TRUE(tables.ok()) << "schema " << i;
+    for (int size = 1; size <= 8; ++size) {
+      const bool language_has_size = !tables->totals[size].IsZero();
+      for (int draw = 0; draw < 8; ++draw) {
+        std::optional<Tree> tree =
+            SampleTreeUniform(xsd, *tables, size, &rng);
+        ASSERT_EQ(tree.has_value(), language_has_size)
+            << "schema " << i << " size " << size;
+        if (!tree.has_value()) break;
+        EXPECT_EQ(tree->NumNodes(), size) << "schema " << i;
+        EXPECT_TRUE(xsd.Accepts(*tree))
+            << "schema " << i << ": sampled invalid tree "
+            << tree->ToString(xsd.sigma);
+        EXPECT_TRUE(ValidateWithDiagnostics(xsd, *tree).ok)
+            << "schema " << i;
+      }
+    }
+  }
+}
+
+TEST(SamplerTest, ChiSquaredUniformityOverAllSizeFourTrees) {
+  const DfaXsd xsd = FixedXsd();
+  constexpr int kSize = 4;
+  StatusOr<XsdSizeTables> tables = BuildXsdSizeTables(xsd, kSize, nullptr);
+  ASSERT_TRUE(tables.ok());
+
+  // Outcome space: the 12 accepted trees with four nodes.
+  std::map<Tree, int> index;
+  for (const Tree& tree : TreesOfSize(kSize, xsd.sigma.size())) {
+    if (xsd.Accepts(tree)) {
+      const int next = static_cast<int>(index.size());
+      index.emplace(tree, next);
+    }
+  }
+  ASSERT_EQ(index.size(), 12u);
+  ASSERT_EQ(tables->totals[kSize].ToString(), "12");
+
+  constexpr int kDraws = 4096;
+  std::vector<int> observed(index.size(), 0);
+  std::mt19937 rng(MixSeed(0xC215A));
+  for (int draw = 0; draw < kDraws; ++draw) {
+    std::optional<Tree> tree = SampleTreeUniform(xsd, *tables, kSize, &rng);
+    ASSERT_TRUE(tree.has_value());
+    auto it = index.find(*tree);
+    ASSERT_NE(it, index.end())
+        << "sampled a tree outside the enumerated outcome space: "
+        << tree->ToString(xsd.sigma);
+    ++observed[it->second];
+  }
+
+  const double expected =
+      static_cast<double>(kDraws) / static_cast<double>(index.size());
+  double chi_squared = 0.0;
+  for (int count : observed) {
+    const double delta = count - expected;
+    chi_squared += delta * delta / expected;
+    EXPECT_GT(count, 0) << "an outcome was never sampled in " << kDraws
+                        << " draws";
+  }
+  // 11 degrees of freedom; the 99.99th percentile is ~37.4. A correct
+  // uniform sampler fails this deterministic seeded check with
+  // probability ~1e-4 only if the seed stream changes.
+  EXPECT_LT(chi_squared, 40.0);
+}
+
+}  // namespace
+}  // namespace stap
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  stap::test::InitTestSeed(&argc, argv);
+  return RUN_ALL_TESTS();
+}

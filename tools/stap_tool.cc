@@ -92,6 +92,7 @@
 #include "stap/schema/reduce.h"
 #include "stap/schema/single_type.h"
 #include "stap/schema/count.h"
+#include "stap/count/measure.h"
 #include "stap/schema/text_format.h"
 #include "stap/schema/typing.h"
 #include "stap/schema/xsd_io.h"
@@ -125,6 +126,11 @@ int Usage() {
          "  report <s1> <s2>              full comparison report\n"
          "  sample <schema> [count]       sample random documents\n"
          "  count <schema> <depth> <w>    count documents within bounds\n"
+         "  measure <schema> [flags]      tree-counting precision report:\n"
+         "                                exact |L(S)|, |L(upper)\\L(S)|,\n"
+         "                                |L(S)\\L(lower)| per depth; flags:\n"
+         "                                --upper --lower --both (default)\n"
+         "                                --depth=D --width=W --json\n"
          "  export <schema> [--repair-upa]  write a W3C-style .xsd\n"
          "  import <schema.xsd>           read a W3C-style .xsd\n"
          "  family <name> <n>             generate a lower-bound family\n"
@@ -470,6 +476,52 @@ int CmdSample(const std::string& schema_path, int count, Budget* budget) {
     std::cout << ToXml(*tree, xsd.sigma);
     if (i + 1 < count) std::cout << "<!-- -->\n";
   }
+  return 0;
+}
+
+// `stap measure <schema> [--upper|--lower|--both] [--depth=D] [--width=W]
+// [--json]`: exact precision analytics. Counts |L(S)|, |L(upper)|, and
+// |L(lower)| by depth with the counting DP, plus the pairwise
+// intersections, and reports the gained/lost document counts and the
+// precision/recall ratios. Budget exhaustion surfaces as exit 3 via Fail.
+int CmdMeasure(const std::vector<std::string>& args, Budget* budget) {
+  MeasureOptions options;
+  bool json = false;
+  bool side_chosen = false;
+  for (size_t i = 3; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    if (flag == "--upper") {
+      options.upper = true;
+      options.lower = side_chosen && options.lower;
+      side_chosen = true;
+    } else if (flag == "--lower") {
+      options.lower = true;
+      options.upper = side_chosen && options.upper;
+      side_chosen = true;
+    } else if (flag == "--both") {
+      options.upper = true;
+      options.lower = true;
+      side_chosen = true;
+    } else if (flag == "--json") {
+      json = true;
+    } else if (flag.rfind("--depth=", 0) == 0) {
+      if (!ParseCount(flag.substr(8), 1, 64, &options.bounds.max_depth)) {
+        return BadCount("depth bound", flag.substr(8), 1, 64);
+      }
+    } else if (flag.rfind("--width=", 0) == 0) {
+      if (!ParseCount(flag.substr(8), 0, 64, &options.bounds.max_width)) {
+        return BadCount("width bound", flag.substr(8), 0, 64);
+      }
+    } else {
+      return Usage();
+    }
+  }
+  StatusOr<Edtd> schema = LoadSchema(args[2], budget);
+  if (!schema.ok()) return Fail(schema.status());
+  StatusOr<MeasureResult> result = MeasureSchema(*schema, options, budget);
+  if (!result.ok()) return Fail(result.status());
+  std::cout << (json ? result->ToJson() : result->ToText());
+  if (json) std::cout << "\n";
   return 0;
 }
 
@@ -958,6 +1010,7 @@ int RunCommand(const std::vector<std::string>& argv, GlobalOptions& options) {
     std::cout << count << "\n";
     return 0;
   }
+  if (command == "measure" && argc >= 3) return CmdMeasure(argv, budget);
   if (command == "export" && (argc == 3 || argc == 4)) {
     StatusOr<Edtd> schema = LoadSchema(argv[2], budget);
     if (!schema.ok()) return Fail(schema.status());
